@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one table or figure from the paper, prints it,
+and writes it to ``results/<name>.txt`` so the output survives pytest's
+capture (see EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture
+def emit():
+    """Print a rendered artifact and persist it under results/."""
+
+    def _emit(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\n{text}\n[written to results/{name}.txt]")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run a whole-experiment function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,66 @@
+"""Section 5.10: SplitFS resource consumption.
+
+The paper reports <=100 MB of DRAM for U-Split metadata (+40 MB in strict
+mode) and one background hardware thread.  At our scaled workload sizes we
+report the measured DRAM bookkeeping footprint, staging-file space, and the
+background-thread time consumed by staging refills.
+"""
+
+from conftest import run_once
+
+from repro.bench.report import render_table
+from repro.core import Mode, SplitFS
+from repro.ext4.filesystem import Ext4DaxFS
+from repro.kernel.machine import Machine
+from repro.posix import flags as F
+
+PM = 192 * 1024 * 1024
+
+
+def run_workload(mode):
+    m = Machine(PM)
+    fs = SplitFS(Ext4DaxFS.format(m), mode=mode)
+    for i in range(40):
+        fd = fs.open(f"/f{i:03d}", F.O_CREAT | F.O_RDWR)
+        for _ in range(8):
+            fs.write(fd, b"z" * 4096)
+        fs.fsync(fd)
+    return fs
+
+
+def test_resource_consumption(benchmark, emit):
+    def experiment():
+        out = {}
+        for mode in (Mode.POSIX, Mode.STRICT):
+            fs = run_workload(mode)
+            out[mode.value] = {
+                "dram": fs.dram_usage_bytes(),
+                "staging": fs.staging.space_in_use(),
+                "background_ms": fs.staging.background_account.total_ns / 1e6,
+                "refills": fs.staging.background_refills,
+                "oplog": fs.config.oplog_bytes if fs.oplog else 0,
+            }
+        return out
+
+    results = run_once(benchmark, experiment)
+    rows = []
+    for mode, r in results.items():
+        rows.append([
+            mode,
+            f"{r['dram'] / 1024:.1f} KB",
+            f"{r['staging'] / (1 << 20):.1f} MB",
+            f"{r['oplog'] / (1 << 20):.1f} MB",
+            f"{r['background_ms']:.2f} ms ({r['refills']} refills)",
+        ])
+    emit("resource_consumption", render_table(
+        "Section 5.10: SplitFS resource consumption (scaled; paper: "
+        "<=100 MB DRAM, +40 MB strict, one background thread)",
+        ["mode", "U-Split DRAM", "staging space", "op log PM",
+         "background thread time"], rows,
+    ))
+
+    # Strict mode uses extra persistent state for its guarantees.
+    assert results["strict"]["oplog"] > 0
+    assert results["posix"]["oplog"] == 0
+    # DRAM bookkeeping is modest relative to the data handled (160 files).
+    assert results["strict"]["dram"] < 1 << 20

@@ -1,0 +1,68 @@
+"""Table 2: PM performance characteristics (device microbenchmark).
+
+Measures the simulated device directly and checks it reproduces the
+Izraelevitz et al. numbers the paper quotes: 169 ns sequential / 305 ns
+random read latency, 91 ns store+flush+fence, 39.4 GB/s read and (derated
+single-stream) write bandwidth.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.report import render_table
+from repro.kernel.machine import Machine
+from repro.pmem import constants as C
+
+
+def device_microbench():
+    m = Machine(64 * 1024 * 1024)
+    pm = m.pm
+    out = {}
+
+    # Sequential read latency: single cache-line reads, back to back.
+    with m.clock.measure() as acct:
+        for i in range(1000):
+            pm.load(i * 64, 64)
+    out["seq_read_latency"] = acct.total_ns / 1000 - 64 * C.PM_READ_NS_PER_BYTE
+
+    with m.clock.measure() as acct:
+        for i in range(1000):
+            pm.load((i * 7919 * 64) % (32 << 20), 64, random_access=True)
+    out["rand_read_latency"] = acct.total_ns / 1000 - 64 * C.PM_READ_NS_PER_BYTE
+
+    with m.clock.measure() as acct:
+        for i in range(1000):
+            pm.persist(i * 64, b"x" * 64)
+    out["store_flush_fence"] = acct.total_ns / 1000
+
+    with m.clock.measure() as acct:
+        pm.load(0, 32 << 20)
+    out["read_bw_gbps"] = (32 << 20) / acct.total_ns
+
+    with m.clock.measure() as acct:
+        pm.store(0, b"y" * (32 << 20))
+    out["write_bw_gbps"] = (32 << 20) / acct.total_ns
+    return out
+
+
+def test_table2_pm_characteristics(benchmark, emit):
+    out = run_once(benchmark, device_microbench)
+    rows = [
+        ["Sequential read latency (ns)", f"{out['seq_read_latency']:.0f}", "169"],
+        ["Random read latency (ns)", f"{out['rand_read_latency']:.0f}", "305"],
+        ["Store + flush + fence (ns)", f"{out['store_flush_fence']:.0f}", "91"],
+        ["Read bandwidth (GB/s)", f"{out['read_bw_gbps']:.1f}", "39.4"],
+        ["Write bandwidth, 1 stream (GB/s)",
+         f"{out['write_bw_gbps']:.1f}", "6.1 (derated from 13.9)"],
+    ]
+    emit("table2_pm_characteristics", render_table(
+        "Table 2: simulated PM device characteristics",
+        ["property", "measured", "paper"], rows,
+    ))
+
+    assert out["seq_read_latency"] == pytest.approx(169, rel=0.05)
+    assert out["rand_read_latency"] == pytest.approx(305, rel=0.05)
+    assert out["store_flush_fence"] == pytest.approx(91, rel=0.05)
+    assert out["read_bw_gbps"] == pytest.approx(39.4, rel=0.05)
+    # The paper's Section 1 anchor: a 4 KB write costs 671 ns.
+    assert 4096 * C.PM_WRITE_NS_PER_BYTE == pytest.approx(671, rel=0.01)

@@ -1,0 +1,59 @@
+"""Table 6: system-call latencies (Varmail-like microbenchmark, Section 5.4).
+
+Paper numbers (us): see module-level PAPER below.  The reproduction checks
+the *orderings* the paper draws its conclusions from: SplitFS data ops are
+much faster than ext4-DAX; SplitFS metadata ops (open/close/unlink) are
+slower; stronger modes cost slightly more.
+"""
+
+from conftest import run_once
+
+from repro.bench import syscall_latency_workload
+from repro.bench.report import render_table
+
+SYSTEMS = ["splitfs-strict", "splitfs-sync", "splitfs-posix", "ext4dax"]
+CALLS = ["open", "close", "append", "fsync", "read", "unlink"]
+
+PAPER_US = {
+    "splitfs-strict": dict(open=2.09, close=0.78, append=3.14, fsync=6.85,
+                           read=4.57, unlink=14.60),
+    "splitfs-sync": dict(open=2.08, close=0.69, append=3.09, fsync=6.80,
+                         read=4.53, unlink=13.56),
+    "splitfs-posix": dict(open=1.82, close=0.69, append=2.84, fsync=6.80,
+                          read=4.53, unlink=14.33),
+    "ext4dax": dict(open=1.54, close=0.34, append=11.05, fsync=28.98,
+                    read=5.04, unlink=8.60),
+}
+
+
+def test_table6_syscall_latencies(benchmark, emit):
+    def experiment():
+        return {name: syscall_latency_workload(name) for name in SYSTEMS}
+
+    results = run_once(benchmark, experiment)
+
+    rows = []
+    for call in CALLS:
+        row = [call]
+        for name in SYSTEMS:
+            row.append(f"{results[name][call] / 1000:.2f}"
+                       f" ({PAPER_US[name][call]:.2f})")
+        rows.append(row)
+    emit("table6_syscall_latencies", render_table(
+        "Table 6: system-call latency in us — measured (paper)",
+        ["syscall"] + SYSTEMS, rows,
+    ))
+
+    ext4 = results["ext4dax"]
+    strict = results["splitfs-strict"]
+    posix = results["splitfs-posix"]
+    # Data operations: SplitFS much faster than ext4-DAX (writes 3-4x).
+    assert ext4["append"] / strict["append"] > 2.5
+    assert ext4["fsync"] / strict["fsync"] > 2.0
+    assert strict["read"] < ext4["read"]
+    # Metadata operations: SplitFS slower (bookkeeping on top of ext4).
+    assert strict["open"] > ext4["open"]
+    assert strict["close"] > ext4["close"]
+    assert strict["unlink"] > ext4["unlink"]
+    # Stronger guarantees cost (weakly) more on the write path.
+    assert strict["append"] >= posix["append"]

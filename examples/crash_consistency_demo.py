@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Crash-consistency guarantees across the three SplitFS modes (Table 3).
+
+Performs the same little banking scenario in each mode, pulls the plug at
+the worst moment, recovers, and shows what survived.
+
+Run:  python examples/crash_consistency_demo.py
+"""
+
+from repro import Machine, Mode, SplitFS, flags, recover
+from repro.core import SplitFSConfig
+from repro.ext4 import Ext4DaxFS
+
+
+def scenario(mode: Mode) -> None:
+    print(f"=== {mode.value} mode (equivalent to {mode.equivalent_systems}) ===")
+    machine = Machine(96 * 1024 * 1024)
+    cfg = SplitFSConfig(sync_metadata_commits=True) if mode is Mode.SYNC else None
+    fs = SplitFS(Ext4DaxFS.format(machine), mode=mode, config=cfg)
+
+    # A committed ledger...
+    fd = fs.open("/ledger", flags.O_CREAT | flags.O_RDWR)
+    fs.write(fd, b"balance=100\n")
+    fs.fsync(fd)
+
+    # ...then three things happen and the power fails before any fsync:
+    fs.pwrite(fd, b"balance=250\n", 0)        # overwrite (in place / staged)
+    fs.write(fd, b"audit: +150 deposited\n")  # append (staged)
+    fs.open("/receipt", flags.O_CREAT | flags.O_RDWR)  # metadata op
+    machine.crash()
+
+    kfs, report = recover(machine, strict=mode is Mode.STRICT)
+    rfd = kfs.open("/ledger", flags.O_RDONLY)
+    content = kfs.pread(rfd, 4096, 0).decode()
+    print(f"  ledger after crash : {content.splitlines()!r}")
+    print(f"  receipt exists     : {kfs.exists('/receipt')}")
+    if mode is Mode.STRICT:
+        print(f"  log entries replayed: {report.data_entries_replayed} data, "
+              f"{report.namespace_entries_replayed} namespace")
+    print()
+
+
+def main() -> None:
+    for mode in (Mode.POSIX, Mode.SYNC, Mode.STRICT):
+        scenario(mode)
+    print("POSIX: only the fsynced state survives (ext4-DAX semantics).")
+    print("sync : the in-place overwrite and the create survive; the staged")
+    print("       append still needs an fsync to be reachable.")
+    print("strict: everything survives — the 64-byte-per-op log replays it.")
+
+
+if __name__ == "__main__":
+    main()

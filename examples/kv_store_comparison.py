@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The paper's headline scenario: a key-value store on PM file systems.
+
+Runs the LevelDB model under YCSB workload A (50% reads / 50% updates) on
+every evaluated file system and prints throughput — the Figure 6 story in
+one script.
+
+Run:  python examples/kv_store_comparison.py
+"""
+
+from repro import GUARANTEE_GROUPS, make_filesystem
+from repro.apps import LevelDB
+from repro.apps import ycsb
+
+RECORDS = 800
+OPS = 1200
+
+
+def run_on(system: str) -> float:
+    machine, fs = make_filesystem(system)
+    db = LevelDB(fs)
+    cfg = ycsb.YCSBConfig(record_count=RECORDS, operation_count=OPS)
+    ycsb.load(db, cfg)
+    with machine.clock.measure() as acct:
+        ycsb.run(db, "A", cfg)
+        db.sync()
+    return OPS / (acct.total_ns / 1e9) / 1e3  # kops/s
+
+
+def main() -> None:
+    print(f"YCSB-A on LevelDB: {RECORDS} records, {OPS} operations\n")
+    for group, systems in GUARANTEE_GROUPS.items():
+        print(f"--- {group} guarantees ---")
+        baseline = None
+        for system in systems:
+            kops = run_on(system)
+            if baseline is None:
+                baseline = kops
+            print(f"  {system:<16} {kops:8.1f} kops/s  "
+                  f"({kops / baseline:.2f}x vs {systems[0]})")
+        print()
+    print("Same guarantees, different software overhead: SplitFS serves the")
+    print("WAL appends in user space and relinks them on fsync, so the")
+    print("write-heavy halves of the workload never pay kernel traps.")
+
+
+if __name__ == "__main__":
+    main()

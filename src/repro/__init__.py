@@ -1,0 +1,45 @@
+"""SplitFS reproduction: a simulated persistent-memory file-system stack.
+
+This package reproduces *SplitFS: Reducing Software Overhead in File Systems
+for Persistent Memory* (SOSP 2019) as a discrete-event simulation: a PM
+device with cache-line persistence semantics and a calibrated cost model,
+the kernel file systems the paper evaluates (ext4-DAX, PMFS, NOVA, Strata),
+and SplitFS itself (the U-Split library over ext4-DAX with staging, relink,
+and the optimized operation log).
+
+Quick start::
+
+    from repro import make_filesystem, flags
+
+    machine, fs = make_filesystem("splitfs-strict")
+    fd = fs.open("/hello", flags.O_CREAT | flags.O_RDWR)
+    fs.write(fd, b"persistent!")
+    fs.fsync(fd)
+
+See ``examples/quickstart.py`` and the benchmark harness in ``repro.bench``.
+"""
+
+from .core import Mode, SplitFS, SplitFSConfig, recover
+from .factory import GUARANTEE_GROUPS, SYSTEM_NAMES, make_filesystem
+from .kernel.machine import Machine
+from .posix import FileSystemAPI, flags
+from .pmem import Category, CrashPolicy, PersistentMemory, SimClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Mode",
+    "SplitFS",
+    "SplitFSConfig",
+    "recover",
+    "make_filesystem",
+    "SYSTEM_NAMES",
+    "GUARANTEE_GROUPS",
+    "Machine",
+    "FileSystemAPI",
+    "flags",
+    "Category",
+    "CrashPolicy",
+    "PersistentMemory",
+    "SimClock",
+]

@@ -1,0 +1,24 @@
+"""Application models used in the paper's evaluation.
+
+All file I/O flows through :class:`repro.posix.FileSystemAPI`, so every
+application runs unchanged on any of the eight evaluated file systems.
+"""
+
+from . import filebench, utilities, ycsb
+from .leveldb import LevelDB, LevelDBConfig
+from .redis import RedisAOF
+from .sqlite import SQLiteWAL
+from .tpcc import TPCC, TPCCConfig, TPCCResult
+
+__all__ = [
+    "LevelDB",
+    "LevelDBConfig",
+    "RedisAOF",
+    "SQLiteWAL",
+    "TPCC",
+    "TPCCConfig",
+    "TPCCResult",
+    "ycsb",
+    "utilities",
+    "filebench",
+]

@@ -1,0 +1,213 @@
+"""Filebench-style workload personalities (Tarasov et al., ;login: 2016).
+
+The paper's Section 5.4 microbenchmark is "similar to FileBench Varmail".
+This module provides reusable personalities with Filebench's canonical
+operation mixes, all driven through :class:`repro.posix.FileSystemAPI`:
+
+* **varmail**  — mail server: create/append/fsync/read/delete over many
+  small files (the metadata+fsync-heavy mix).
+* **fileserver** — file server: create/write whole files, append, read
+  whole files, delete, stat.
+* **webserver** — web server: overwhelmingly whole-file reads plus a
+  single shared append-only log.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..posix import flags as F
+from ..posix.api import FileSystemAPI
+from ..posix.errors import FSError
+
+
+@dataclass
+class FilebenchConfig:
+    nfiles: int = 50
+    mean_file_size: int = 16 * 1024
+    io_size: int = 4096
+    operations: int = 500
+    seed: int = 9
+
+
+@dataclass
+class FilebenchResult:
+    operations: int = 0
+    creates: int = 0
+    appends: int = 0
+    whole_reads: int = 0
+    deletes: int = 0
+    fsyncs: int = 0
+    stats: int = 0
+    whole_writes: int = 0
+    log_appends: int = 0
+
+
+class _Personality:
+    """Shared machinery: a working set of files under one directory."""
+
+    def __init__(self, fs: FileSystemAPI, root: str,
+                 config: Optional[FilebenchConfig] = None) -> None:
+        self.fs = fs
+        self.root = root
+        self.config = config or FilebenchConfig()
+        self.rng = random.Random(self.config.seed)
+        self.files: List[str] = []
+        self._serial = 0
+        self.result = FilebenchResult()
+        if not fs.exists(root):
+            fs.mkdir(root)
+
+    def _new_path(self) -> str:
+        self._serial += 1
+        return f"{self.root}/f{self._serial:06d}"
+
+    def _file_size(self) -> int:
+        # Filebench uses a gamma distribution; a clamped expovariate is close.
+        mean = self.config.mean_file_size
+        return max(1024, min(8 * mean, int(self.rng.expovariate(1 / mean))))
+
+    def _payload(self, size: int) -> bytes:
+        return bytes([self.rng.randrange(256)]) * size
+
+    def prefill(self) -> None:
+        for _ in range(self.config.nfiles):
+            path = self._new_path()
+            self.fs.write_file(path, self._payload(self._file_size()))
+            self.files.append(path)
+
+    def _pick(self) -> Optional[str]:
+        return self.rng.choice(self.files) if self.files else None
+
+    # -- primitive flowops ---------------------------------------------------
+
+    def op_create_append_fsync(self) -> None:
+        path = self._new_path()
+        fd = self.fs.open(path, F.O_CREAT | F.O_RDWR)
+        self.fs.write(fd, self._payload(self.config.io_size))
+        self.fs.fsync(fd)
+        self.fs.close(fd)
+        self.files.append(path)
+        self.result.creates += 1
+        self.result.fsyncs += 1
+
+    def op_append_existing(self, fsync: bool) -> None:
+        path = self._pick()
+        if path is None:
+            return self.op_create_append_fsync()
+        fd = self.fs.open(path, F.O_RDWR | F.O_APPEND)
+        self.fs.write(fd, self._payload(self.config.io_size))
+        if fsync:
+            self.fs.fsync(fd)
+            self.result.fsyncs += 1
+        self.fs.close(fd)
+        self.result.appends += 1
+
+    def op_read_whole(self) -> None:
+        path = self._pick()
+        if path is None:
+            return
+        self.fs.read_file(path)
+        self.result.whole_reads += 1
+
+    def op_delete(self) -> None:
+        if len(self.files) <= self.config.nfiles // 2:
+            return
+        path = self.files.pop(self.rng.randrange(len(self.files)))
+        try:
+            self.fs.unlink(path)
+            self.result.deletes += 1
+        except FSError:
+            pass
+
+    def op_stat(self) -> None:
+        path = self._pick()
+        if path is not None:
+            self.fs.stat(path)
+            self.result.stats += 1
+
+    def op_write_whole(self) -> None:
+        path = self._new_path()
+        self.fs.write_file(path, self._payload(self._file_size()))
+        self.files.append(path)
+        self.result.whole_writes += 1
+
+
+class Varmail(_Personality):
+    """create+append+fsync / read+append+fsync / whole-read / delete."""
+
+    def run(self) -> FilebenchResult:
+        self.prefill()
+        for _ in range(self.config.operations):
+            self.result.operations += 1
+            r = self.rng.random()
+            if r < 0.25:
+                self.op_delete()
+            elif r < 0.50:
+                self.op_create_append_fsync()
+            elif r < 0.75:
+                self.op_read_whole()
+                self.op_append_existing(fsync=True)
+            else:
+                self.op_read_whole()
+        return self.result
+
+
+class Fileserver(_Personality):
+    """create-whole / append / whole-read / delete / stat."""
+
+    def run(self) -> FilebenchResult:
+        self.prefill()
+        for _ in range(self.config.operations):
+            self.result.operations += 1
+            r = self.rng.random()
+            if r < 0.20:
+                self.op_write_whole()
+            elif r < 0.40:
+                self.op_append_existing(fsync=False)
+            elif r < 0.70:
+                self.op_read_whole()
+            elif r < 0.85:
+                self.op_delete()
+            else:
+                self.op_stat()
+        return self.result
+
+
+class Webserver(_Personality):
+    """~10 whole-file reads per append to one shared log."""
+
+    def run(self) -> FilebenchResult:
+        self.prefill()
+        log_fd = self.fs.open(f"{self.root}/access.log",
+                              F.O_CREAT | F.O_RDWR | F.O_APPEND)
+        for _ in range(self.config.operations):
+            self.result.operations += 1
+            for _ in range(10):
+                self.op_read_whole()
+            self.fs.write(log_fd, self._payload(256))
+            self.result.log_appends += 1
+        self.fs.fsync(log_fd)
+        self.fs.close(log_fd)
+        return self.result
+
+
+PERSONALITIES = {
+    "varmail": Varmail,
+    "fileserver": Fileserver,
+    "webserver": Webserver,
+}
+
+
+def run_personality(fs: FileSystemAPI, name: str,
+                    config: Optional[FilebenchConfig] = None,
+                    root: str = "/fbench") -> FilebenchResult:
+    """Run one named personality on ``fs`` and return its counters."""
+    try:
+        cls = PERSONALITIES[name]
+    except KeyError:
+        raise ValueError(f"unknown personality {name!r}; "
+                         f"choose from {sorted(PERSONALITIES)}") from None
+    return cls(fs, root, config).run()

@@ -1,0 +1,9 @@
+"""LevelDB-style LSM key-value store (paper's YCSB substrate)."""
+
+from .db import LevelDB, LevelDBConfig
+from .memtable import MemTable
+from .sstable import SSTable, write_sstable
+from .wal import WriteAheadLog
+
+__all__ = ["LevelDB", "LevelDBConfig", "MemTable", "SSTable", "write_sstable",
+           "WriteAheadLog"]

@@ -1,0 +1,178 @@
+"""A LevelDB-style LSM key-value store running on the simulated FS.
+
+Miniature but structurally faithful: puts go to a write-ahead log and a
+memtable; full memtables flush to sorted tables (level 0); when level 0
+grows past a threshold, all L0 tables are merge-compacted with L1 into a
+fresh L1 table.  Reads consult memtable → immutable memtable → L0 (newest
+first) → L1.  File-system traffic therefore has LevelDB's signature shape:
+small unaligned WAL appends, large sequential SSTable writes, and random
+SSTable reads — exactly the access mix the paper's YCSB evaluation exercises.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ...pmem import constants as C
+from ...posix.api import FileSystemAPI
+from .memtable import MemTable
+from .sstable import SSTable, write_sstable
+from .wal import OP_DELETE, OP_PUT, WriteAheadLog
+
+
+def _tagged(src, prio: int):
+    """Tag a (key, value) stream with a merge priority (lower = newer)."""
+    return ((k, prio, v) for k, v in src)
+
+
+@dataclass
+class LevelDBConfig:
+    """Scaled-down LevelDB tuning (paper used 64 MB sstables per the
+    RocksDB tuning guide; everything here preserves the ratios)."""
+
+    memtable_bytes: int = 256 * 1024  # paper-scale: 64 MB
+    l0_compaction_trigger: int = 4
+    sync_writes: bool = False  # LevelDB default: async WAL
+
+
+class LevelDB:
+    """The database: put/get/delete/scan over a FileSystemAPI."""
+
+    def __init__(self, fs: FileSystemAPI, home: str = "/leveldb",
+                 config: Optional[LevelDBConfig] = None) -> None:
+        self.fs = fs
+        self.home = home
+        self.config = config or LevelDBConfig()
+        if not fs.exists(home):
+            fs.mkdir(home)
+        self._serial = 0
+        self.memtable = MemTable()
+        self.wal = WriteAheadLog(fs, self._new_path("wal"),
+                                 sync_writes=self.config.sync_writes)
+        self.level0: List[SSTable] = []  # newest first
+        self.level1: Optional[SSTable] = None
+        self.stats_flushes = 0
+        self.stats_compactions = 0
+
+    def _new_path(self, kind: str) -> str:
+        self._serial += 1
+        return f"{self.home}/{kind}-{self._serial:06d}"
+
+    # -- client API -----------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._app_cpu()
+        self.wal.append(OP_PUT, key, value)
+        self.memtable.put(key, value)
+        if self.memtable.approximate_bytes >= self.config.memtable_bytes:
+            self.flush_memtable()
+
+    def delete(self, key: bytes) -> None:
+        self._app_cpu()
+        self.wal.append(OP_DELETE, key, b"")
+        self.memtable.delete(key)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._app_cpu()
+        found, value = self.memtable.get(key)
+        if found:
+            return value
+        for table in self.level0:
+            found, value = table.get(key)
+            if found:
+                return value
+        if self.level1 is not None:
+            found, value = self.level1.get(key)
+            if found:
+                return value
+        return None
+
+    def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, bytes]]:
+        """Range scan: merge across memtable and all tables."""
+        self._app_cpu()
+        sources: List[Iterator[Tuple[bytes, Optional[bytes]]]] = []
+        mem = [(k, v) for k, v in self.memtable.items_sorted() if k >= start_key]
+        sources.append(iter(mem))
+        for table in self.level0:
+            sources.append(table.scan_from(start_key))
+        if self.level1 is not None:
+            sources.append(self.level1.scan_from(start_key))
+        out: List[Tuple[bytes, bytes]] = []
+        # Priority order: earlier sources are newer.
+        merged = heapq.merge(
+            *[_tagged(src, prio) for prio, src in enumerate(sources)]
+        )
+        last_key = None
+        for key, _, value in merged:
+            if key == last_key:
+                continue
+            last_key = key
+            if value is None:
+                continue
+            out.append((key, value))
+            if len(out) >= count:
+                break
+        return out
+
+    def sync(self) -> None:
+        """fsync the WAL (clients needing durability call this)."""
+        self.wal.sync()
+
+    def close(self) -> None:
+        if self.memtable:
+            self.flush_memtable()
+        for t in self.level0:
+            t.close()
+        if self.level1 is not None:
+            self.level1.close()
+        self.fs.close(self.wal.fd)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def flush_memtable(self) -> None:
+        """Write the memtable as a new L0 table and retire the WAL."""
+        self.stats_flushes += 1
+        path = self._new_path("sst-l0")
+        table = write_sstable(self.fs, path, self.memtable.items_sorted())
+        self.level0.insert(0, table)
+        self.wal.close_and_unlink()
+        self.wal = WriteAheadLog(self.fs, self._new_path("wal"),
+                                 sync_writes=self.config.sync_writes)
+        self.memtable = MemTable()
+        if len(self.level0) >= self.config.l0_compaction_trigger:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge every L0 table plus L1 into a fresh L1 table."""
+        self.stats_compactions += 1
+        sources = list(self.level0)
+        if self.level1 is not None:
+            sources.append(self.level1)
+
+        def merged() -> Iterator[Tuple[bytes, Optional[bytes]]]:
+            streams = [
+                _tagged(src.items(), prio) for prio, src in enumerate(sources)
+            ]
+            last = None
+            for key, _, value in heapq.merge(*streams):
+                if key == last:
+                    continue
+                last = key
+                if value is None:
+                    continue  # tombstones die at the bottom level
+                yield key, value
+
+        path = self._new_path("sst-l1")
+        new_l1 = write_sstable(self.fs, path, merged())
+        for src in sources:
+            src.close_and_unlink()
+        self.level0 = []
+        self.level1 = new_l1
+
+    def _app_cpu(self) -> None:
+        """Application-side CPU (comparisons, index work) outside the FS."""
+        clock = getattr(self.fs, "clock", None)
+        if clock is not None:
+            clock.charge_cpu(C.APP_KV_OP_CPU_NS)

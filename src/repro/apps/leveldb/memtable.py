@@ -1,0 +1,43 @@
+"""In-memory write buffer for the LevelDB model."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+#: Sentinel stored for deleted keys (tombstone).
+TOMBSTONE = None
+
+
+class MemTable:
+    """A mutable key→value buffer with tombstones and size accounting."""
+
+    def __init__(self) -> None:
+        self._data: Dict[bytes, Optional[bytes]] = {}
+        self.approximate_bytes = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        old = self._data.get(key)
+        self._data[key] = value
+        self.approximate_bytes += len(key) + len(value)
+        if old:
+            self.approximate_bytes -= len(old)
+
+    def delete(self, key: bytes) -> None:
+        self._data[key] = TOMBSTONE
+        self.approximate_bytes += len(key)
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Returns (found, value); value None with found=True is a tombstone."""
+        if key in self._data:
+            return True, self._data[key]
+        return False, None
+
+    def items_sorted(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        for key in sorted(self._data):
+            yield key, self._data[key]
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)

@@ -1,0 +1,130 @@
+"""Sorted string tables for the LevelDB model.
+
+File layout::
+
+    [data section: records]  [index section]  [footer: u64 index_off, u32 n]
+
+Record: ``u32 key_len | u32 val_len(or 0xFFFFFFFF tombstone) | key | value``.
+The index (one entry per record: key offset) is loaded when the table is
+opened; lookups binary-search the in-memory index and read one record.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Tuple
+
+from ...posix import flags as F
+from ...posix.api import FileSystemAPI
+
+_TOMBSTONE_LEN = 0xFFFFFFFF
+_FOOTER_FMT = "<QI"
+_FOOTER_SIZE = struct.calcsize(_FOOTER_FMT)
+
+
+def write_sstable(
+    fs: FileSystemAPI,
+    path: str,
+    items: Iterator[Tuple[bytes, Optional[bytes]]],
+    buffer_bytes: int = 256 * 1024,
+) -> "SSTable":
+    """Write sorted (key, value-or-None) items into a new table file."""
+    fd = fs.open(path, F.O_CREAT | F.O_RDWR | F.O_TRUNC)
+    index: List[Tuple[bytes, int]] = []
+    offset = 0
+    pending: List[bytes] = []
+    pending_bytes = 0
+
+    def flush() -> None:
+        nonlocal pending_bytes
+        if pending:
+            fs.write(fd, b"".join(pending))
+            pending.clear()
+            pending_bytes = 0
+
+    for key, value in items:
+        index.append((key, offset))
+        if value is None:
+            rec = struct.pack("<II", len(key), _TOMBSTONE_LEN) + key
+        else:
+            rec = struct.pack("<II", len(key), len(value)) + key + value
+        pending.append(rec)
+        pending_bytes += len(rec)
+        offset += len(rec)
+        if pending_bytes >= buffer_bytes:
+            flush()
+    flush()
+
+    index_off = offset
+    blob = []
+    for key, rec_off in index:
+        blob.append(struct.pack("<IQ", len(key), rec_off) + key)
+    blob.append(struct.pack(_FOOTER_FMT, index_off, len(index)))
+    fs.write(fd, b"".join(blob))
+    fs.fsync(fd)
+    fs.close(fd)
+    return SSTable(fs, path)
+
+
+class SSTable:
+    """A read-only open sorted table."""
+
+    def __init__(self, fs: FileSystemAPI, path: str) -> None:
+        self.fs = fs
+        self.path = path
+        self.fd = fs.open(path, F.O_RDONLY)
+        size = fs.fstat(self.fd).st_size
+        footer = fs.pread(self.fd, _FOOTER_SIZE, size - _FOOTER_SIZE)
+        self.index_off, count = struct.unpack(_FOOTER_FMT, footer)
+        raw = fs.pread(self.fd, size - _FOOTER_SIZE - self.index_off, self.index_off)
+        self.keys: List[bytes] = []
+        self.offsets: List[int] = []
+        pos = 0
+        for _ in range(count):
+            key_len, rec_off = struct.unpack_from("<IQ", raw, pos)
+            pos += 12
+            self.keys.append(raw[pos : pos + key_len])
+            self.offsets.append(rec_off)
+            pos += key_len
+
+    @property
+    def smallest(self) -> Optional[bytes]:
+        return self.keys[0] if self.keys else None
+
+    @property
+    def largest(self) -> Optional[bytes]:
+        return self.keys[-1] if self.keys else None
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        i = bisect_left(self.keys, key)
+        if i == len(self.keys) or self.keys[i] != key:
+            return False, None
+        return True, self._read_record(i)[1]
+
+    def _read_record(self, i: int) -> Tuple[bytes, Optional[bytes]]:
+        off = self.offsets[i]
+        end = self.offsets[i + 1] if i + 1 < len(self.offsets) else self.index_off
+        raw = self.fs.pread(self.fd, end - off, off)
+        key_len, val_len = struct.unpack_from("<II", raw)
+        key = raw[8 : 8 + key_len]
+        if val_len == _TOMBSTONE_LEN:
+            return key, None
+        return key, raw[8 + key_len : 8 + key_len + val_len]
+
+    def scan_from(self, key: bytes) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        i = bisect_left(self.keys, key)
+        while i < len(self.keys):
+            yield self._read_record(i)
+            i += 1
+
+    def items(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        for i in range(len(self.keys)):
+            yield self._read_record(i)
+
+    def close(self) -> None:
+        self.fs.close(self.fd)
+
+    def close_and_unlink(self) -> None:
+        self.close()
+        self.fs.unlink(self.path)

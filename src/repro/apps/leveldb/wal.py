@@ -1,0 +1,76 @@
+"""Write-ahead log for the LevelDB model.
+
+Record format (matching LevelDB's spirit, simplified framing)::
+
+    u32 crc | u32 key_len | u32 value_len | u8 op | key | value
+
+Every put/delete appends one record with a plain ``write``; durability
+follows the database's sync policy (LevelDB's default is asynchronous —
+the paper's YCSB runs exercise exactly this append-heavy pattern).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, Tuple
+
+from ...posix import flags as F
+from ...posix.api import FileSystemAPI
+
+_HDR_FMT = "<IIIB"
+_HDR_SIZE = struct.calcsize(_HDR_FMT)
+
+OP_PUT = 1
+OP_DELETE = 2
+
+
+def encode_record(op: int, key: bytes, value: bytes) -> bytes:
+    body = struct.pack("<IIB", len(key), len(value), op) + key + value
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return struct.pack("<I", crc) + body
+
+
+def decode_records(raw: bytes) -> Iterator[Tuple[int, bytes, bytes]]:
+    """Yield (op, key, value); stops at the first torn/invalid record."""
+    pos = 0
+    while pos + _HDR_SIZE <= len(raw):
+        crc, key_len, value_len, op = struct.unpack_from(_HDR_FMT, raw, pos)
+        body_end = pos + _HDR_SIZE + key_len + value_len
+        if op not in (OP_PUT, OP_DELETE) or body_end > len(raw):
+            return
+        body = raw[pos + 4 : body_end]
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            return
+        key = raw[pos + _HDR_SIZE : pos + _HDR_SIZE + key_len]
+        value = raw[pos + _HDR_SIZE + key_len : body_end]
+        yield op, key, value
+        pos = body_end
+
+
+class WriteAheadLog:
+    """An append-only log file on the file system under test."""
+
+    def __init__(self, fs: FileSystemAPI, path: str, sync_writes: bool = False):
+        self.fs = fs
+        self.path = path
+        self.sync_writes = sync_writes
+        self.fd = fs.open(path, F.O_CREAT | F.O_RDWR | F.O_TRUNC)
+
+    def append(self, op: int, key: bytes, value: bytes) -> None:
+        self.fs.write(self.fd, encode_record(op, key, value))
+        if self.sync_writes:
+            self.fs.fsync(self.fd)
+
+    def sync(self) -> None:
+        self.fs.fsync(self.fd)
+
+    def close_and_unlink(self) -> None:
+        self.fs.close(self.fd)
+        self.fs.unlink(self.path)
+
+    @classmethod
+    def replay(cls, fs: FileSystemAPI, path: str):
+        """Yield records from an existing log (crash recovery)."""
+        raw = fs.read_file(path)
+        yield from decode_records(raw)

@@ -1,0 +1,101 @@
+"""Redis model: in-memory store with Append-Only-File persistence.
+
+The paper runs Redis in AOF mode, where every update is appended to a log
+file that is fsync()ed once per second (``appendfsync everysec``).  We model
+the same: SET appends a serialized command; a configurable operation budget
+stands in for the one-second timer (simulated time is not wall-clock time).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..pmem import constants as C
+from ..posix import flags as F
+from ..posix.api import FileSystemAPI
+
+_HDR_FMT = "<BII"  # op, key_len, value_len
+OP_SET = 1
+OP_DEL = 2
+
+
+def encode_command(op: int, key: bytes, value: bytes = b"") -> bytes:
+    return struct.pack(_HDR_FMT, op, len(key), len(value)) + key + value
+
+
+def decode_commands(raw: bytes) -> Iterator[Tuple[int, bytes, bytes]]:
+    pos = 0
+    hdr = struct.calcsize(_HDR_FMT)
+    while pos + hdr <= len(raw):
+        op, key_len, value_len = struct.unpack_from(_HDR_FMT, raw, pos)
+        end = pos + hdr + key_len + value_len
+        if op not in (OP_SET, OP_DEL) or end > len(raw):
+            return
+        key = raw[pos + hdr : pos + hdr + key_len]
+        value = raw[pos + hdr + key_len : end]
+        yield op, key, value
+        pos = end
+
+
+class RedisAOF:
+    """The modelled Redis server (single instance, AOF persistence)."""
+
+    def __init__(self, fs: FileSystemAPI, aof_path: str = "/appendonly.aof",
+                 fsync_every_ops: int = 1000) -> None:
+        self.fs = fs
+        self.aof_path = aof_path
+        self.fsync_every_ops = fsync_every_ops
+        self.data: Dict[bytes, bytes] = {}
+        self._ops_since_fsync = 0
+        self.fd = fs.open(aof_path, F.O_CREAT | F.O_RDWR | F.O_APPEND)
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self._app_cpu()
+        self.fs.write(self.fd, encode_command(OP_SET, key, value))
+        self.data[key] = value
+        self._tick()
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._app_cpu()
+        return self.data.get(key)
+
+    def delete(self, key: bytes) -> None:
+        self._app_cpu()
+        self.fs.write(self.fd, encode_command(OP_DEL, key))
+        self.data.pop(key, None)
+        self._tick()
+
+    def _tick(self) -> None:
+        self._ops_since_fsync += 1
+        if self._ops_since_fsync >= self.fsync_every_ops:
+            self.fs.fsync(self.fd)  # the everysec fsync
+            self._ops_since_fsync = 0
+
+    def shutdown(self) -> None:
+        self.fs.fsync(self.fd)
+        self.fs.close(self.fd)
+
+    def _app_cpu(self) -> None:
+        clock = getattr(self.fs, "clock", None)
+        if clock is not None:
+            clock.charge_cpu(C.APP_KV_OP_CPU_NS * 0.5)
+
+    @classmethod
+    def recover(cls, fs: FileSystemAPI, aof_path: str = "/appendonly.aof",
+                fsync_every_ops: int = 1000) -> "RedisAOF":
+        """Rebuild the in-memory store by replaying the AOF."""
+        raw = fs.read_file(aof_path) if fs.exists(aof_path) else b""
+        server = cls.__new__(cls)
+        server.fs = fs
+        server.aof_path = aof_path
+        server.fsync_every_ops = fsync_every_ops
+        server.data = {}
+        server._ops_since_fsync = 0
+        for op, key, value in decode_commands(raw):
+            if op == OP_SET:
+                server.data[key] = value
+            else:
+                server.data.pop(key, None)
+        server.fd = fs.open(aof_path, F.O_CREAT | F.O_RDWR | F.O_APPEND)
+        return server

@@ -1,0 +1,185 @@
+"""TPC-C transaction mix on the modelled SQLite (WAL mode).
+
+A scaled-down but structurally standard TPC-C: one warehouse, ten districts,
+the five transaction types at their spec frequencies (new-order 45%, payment
+43%, order-status 4%, delivery 4%, stock-level 4%).  Rows are stored through
+:class:`repro.apps.sqlite.SQLiteWAL`, so each transaction produces the
+paper-relevant I/O: a burst of page appends to the WAL plus one fsync.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .sqlite import SQLiteWAL
+
+
+@dataclass
+class TPCCConfig:
+    warehouses: int = 1
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 30  # spec: 3000 (scaled)
+    items: int = 100  # spec: 100000 (scaled)
+    transactions: int = 200
+    seed: int = 11
+
+
+@dataclass
+class TPCCResult:
+    new_orders: int = 0
+    payments: int = 0
+    order_statuses: int = 0
+    deliveries: int = 0
+    stock_levels: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.new_orders + self.payments + self.order_statuses
+                + self.deliveries + self.stock_levels)
+
+
+def _row(**fields: object) -> bytes:
+    return repr(sorted(fields.items())).encode()
+
+
+class TPCC:
+    """Benchmark driver: load the schema, then run the transaction mix."""
+
+    def __init__(self, db: SQLiteWAL, config: Optional[TPCCConfig] = None) -> None:
+        self.db = db
+        self.config = config or TPCCConfig()
+        self.rng = random.Random(self.config.seed)
+        self._next_order: Dict[bytes, int] = {}
+        self._undelivered: Dict[bytes, List[int]] = {}
+
+    # -- schema load -----------------------------------------------------------
+
+    def load(self) -> None:
+        cfg = self.config
+        self.db.begin()
+        for w in range(cfg.warehouses):
+            self.db.put(b"WH:%d" % w, _row(w_id=w, ytd=0.0, tax=0.07))
+            for i in range(cfg.items):
+                self.db.put(b"STK:%d:%d" % (w, i),
+                            _row(quantity=50, ytd=0, order_cnt=0))
+        for i in range(cfg.items):
+            self.db.put(b"ITM:%d" % i, _row(i_id=i, price=9.99, name=f"item-{i}"))
+        self.db.commit()
+        for w in range(cfg.warehouses):
+            for d in range(cfg.districts_per_warehouse):
+                self.db.begin()
+                self.db.put(b"DIS:%d:%d" % (w, d),
+                            _row(d_id=d, ytd=0.0, next_o_id=1))
+                for c in range(cfg.customers_per_district):
+                    self.db.put(
+                        b"CUS:%d:%d:%d" % (w, d, c),
+                        _row(c_id=c, balance=-10.0, ytd_payment=10.0,
+                             payment_cnt=1, delivery_cnt=0),
+                    )
+                self.db.commit()
+                self._next_order[b"%d:%d" % (w, d)] = 1
+                self._undelivered[b"%d:%d" % (w, d)] = []
+
+    # -- transaction mix ------------------------------------------------------------
+
+    def run(self) -> TPCCResult:
+        result = TPCCResult()
+        for _ in range(self.config.transactions):
+            r = self.rng.random()
+            if r < 0.45:
+                self.new_order()
+                result.new_orders += 1
+            elif r < 0.88:
+                self.payment()
+                result.payments += 1
+            elif r < 0.92:
+                self.order_status()
+                result.order_statuses += 1
+            elif r < 0.96:
+                self.delivery()
+                result.deliveries += 1
+            else:
+                self.stock_level()
+                result.stock_levels += 1
+        return result
+
+    # -- the five transactions ----------------------------------------------------------
+
+    def _pick_wd(self):
+        w = self.rng.randrange(self.config.warehouses)
+        d = self.rng.randrange(self.config.districts_per_warehouse)
+        return w, d
+
+    def new_order(self) -> None:
+        w, d = self._pick_wd()
+        c = self.rng.randrange(self.config.customers_per_district)
+        n_items = self.rng.randint(5, 15)
+        self.db.begin()
+        district_key = b"%d:%d" % (w, d)
+        o_id = self._next_order[district_key]
+        self._next_order[district_key] = o_id + 1
+        self.db.put(b"DIS:%d:%d" % (w, d),
+                    _row(d_id=d, ytd=0.0, next_o_id=o_id + 1))
+        self.db.put(b"ORD:%d:%d:%d" % (w, d, o_id),
+                    _row(o_id=o_id, c_id=c, item_count=n_items, delivered=False))
+        self.db.put(b"NOR:%d:%d:%d" % (w, d, o_id), _row(o_id=o_id))
+        for line in range(n_items):
+            i = self.rng.randrange(self.config.items)
+            self.db.get(b"ITM:%d" % i)
+            self.db.get(b"STK:%d:%d" % (w, i))
+            self.db.put(b"STK:%d:%d" % (w, i),
+                        _row(quantity=max(10, 91 - line), ytd=line, order_cnt=line))
+            self.db.put(b"OLN:%d:%d:%d:%d" % (w, d, o_id, line),
+                        _row(i_id=i, qty=self.rng.randint(1, 10), amount=9.99))
+        self.db.commit()
+        self._undelivered[district_key].append(o_id)
+
+    def payment(self) -> None:
+        w, d = self._pick_wd()
+        c = self.rng.randrange(self.config.customers_per_district)
+        amount = round(self.rng.uniform(1.0, 5000.0), 2)
+        self.db.begin()
+        self.db.get(b"WH:%d" % w)
+        self.db.put(b"WH:%d" % w, _row(w_id=w, ytd=amount, tax=0.07))
+        self.db.get(b"DIS:%d:%d" % (w, d))
+        self.db.put(b"DIS:%d:%d" % (w, d),
+                    _row(d_id=d, ytd=amount, next_o_id=self._next_order[b"%d:%d" % (w, d)]))
+        self.db.get(b"CUS:%d:%d:%d" % (w, d, c))
+        self.db.put(b"CUS:%d:%d:%d" % (w, d, c),
+                    _row(c_id=c, balance=-amount, ytd_payment=amount,
+                         payment_cnt=1, delivery_cnt=0))
+        self.db.put(b"HIS:%d:%d:%d:%d" % (w, d, c, self.rng.randrange(1 << 30)),
+                    _row(amount=amount))
+        self.db.commit()
+
+    def order_status(self) -> None:
+        w, d = self._pick_wd()
+        c = self.rng.randrange(self.config.customers_per_district)
+        self.db.get(b"CUS:%d:%d:%d" % (w, d, c))
+        district_key = b"%d:%d" % (w, d)
+        last = self._next_order[district_key] - 1
+        if last >= 1:
+            self.db.get(b"ORD:%d:%d:%d" % (w, d, last))
+            for line in range(5):
+                self.db.get(b"OLN:%d:%d:%d:%d" % (w, d, last, line))
+
+    def delivery(self) -> None:
+        w = self.rng.randrange(self.config.warehouses)
+        self.db.begin()
+        for d in range(self.config.districts_per_warehouse):
+            district_key = b"%d:%d" % (w, d)
+            queue = self._undelivered.get(district_key, [])
+            if not queue:
+                continue
+            o_id = queue.pop(0)
+            self.db.delete(b"NOR:%d:%d:%d" % (w, d, o_id))
+            self.db.put(b"ORD:%d:%d:%d" % (w, d, o_id),
+                        _row(o_id=o_id, c_id=0, item_count=0, delivered=True))
+        self.db.commit()
+
+    def stock_level(self) -> None:
+        w, d = self._pick_wd()
+        for _ in range(20):
+            self.db.get(b"STK:%d:%d" % (w, self.rng.randrange(self.config.items)))

@@ -1,0 +1,157 @@
+"""Metadata-heavy utility workloads: git, tar, rsync (paper Section 5.9).
+
+These are the paper's worst-case workloads for SplitFS: dominated by
+open/close/stat/rename traffic with little data movement, so the extra
+user-space bookkeeping is pure overhead.  Each model generates the utility's
+characteristic file-system access pattern.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List
+
+from ..posix import flags as F
+from ..posix.api import FileSystemAPI
+
+
+@dataclass
+class UtilityStats:
+    files_processed: int = 0
+    bytes_processed: int = 0
+
+
+def make_source_tree(
+    fs: FileSystemAPI,
+    root: str = "/src",
+    nfiles: int = 60,
+    file_size: int = 8 * 1024,
+    seed: int = 3,
+) -> List[str]:
+    """Create the input tree the utilities operate on (like a source repo)."""
+    rng = random.Random(seed)
+    if not fs.exists(root):
+        fs.mkdir(root)
+    paths = []
+    ndirs = max(1, nfiles // 12)
+    for d in range(ndirs):
+        fs.mkdir(f"{root}/dir{d}")
+    for i in range(nfiles):
+        d = i % ndirs
+        path = f"{root}/dir{d}/file{i:04d}.c"
+        body = bytes(rng.randrange(256) for _ in range(64)) * (file_size // 64)
+        fs.write_file(path, body)
+        paths.append(path)
+    return paths
+
+
+def git_add_commit(
+    fs: FileSystemAPI, paths: List[str], repo: str = "/.gitrepo"
+) -> UtilityStats:
+    """Model of ``git add . && git commit``.
+
+    For each file: stat it, read it, compress-hash it into a loose object
+    (create object dir, write a temp object, rename into place — git's
+    atomic-object protocol), then rewrite the index and the commit/ref
+    files.  Almost entirely small-file metadata traffic.
+    """
+    stats = UtilityStats()
+    if not fs.exists(repo):
+        fs.mkdir(repo)
+        fs.mkdir(f"{repo}/objects")
+        fs.mkdir(f"{repo}/refs")
+    index_entries = []
+    for path in paths:
+        st = fs.stat(path)
+        data = fs.read_file(path)
+        blob = zlib.compress(data, 1)
+        sha = zlib.crc32(data) & 0xFFFFFFFF
+        fan = f"{sha % 256:02x}"
+        obj_dir = f"{repo}/objects/{fan}"
+        if not fs.exists(obj_dir):
+            fs.mkdir(obj_dir)
+        obj = f"{obj_dir}/{sha:08x}"
+        tmp = f"{obj_dir}/tmp_obj_{sha:08x}"
+        fd = fs.open(tmp, F.O_CREAT | F.O_RDWR | F.O_TRUNC)
+        fs.write(fd, blob)
+        # git does not fsync loose objects by default
+        # (core.fsyncObjectFiles=false); the rename publishes them.
+        fs.close(fd)
+        fs.rename(tmp, obj)
+        index_entries.append((path, sha, st.st_size))
+        stats.files_processed += 1
+        stats.bytes_processed += len(data)
+    index_blob = b"".join(
+        struct.pack("<II", sha, size) + p.encode() + b"\x00"
+        for p, sha, size in index_entries
+    )
+    fd = fs.open(f"{repo}/index.tmp", F.O_CREAT | F.O_RDWR | F.O_TRUNC)
+    fs.write(fd, index_blob)
+    fs.fsync(fd)
+    fs.close(fd)
+    fs.rename(f"{repo}/index.tmp", f"{repo}/index")
+    fs.write_file(f"{repo}/COMMIT_EDITMSG", b"reproduce all the things\n")
+    fs.write_file(f"{repo}/refs/main", b"%08x\n" % (len(index_entries)))
+    return stats
+
+
+def tar_create(
+    fs: FileSystemAPI, paths: List[str], archive: str = "/archive.tar"
+) -> UtilityStats:
+    """Model of ``tar cf``: stat + read each file, append header + data
+    (512-byte aligned) to one archive file."""
+    stats = UtilityStats()
+    fd = fs.open(archive, F.O_CREAT | F.O_RDWR | F.O_TRUNC)
+    for path in paths:
+        st = fs.stat(path)
+        data = fs.read_file(path)
+        header = path.encode().ljust(100, b"\x00") + struct.pack("<Q", st.st_size)
+        header = header.ljust(512, b"\x00")
+        fs.write(fd, header)
+        fs.write(fd, data)
+        pad = (-len(data)) % 512
+        if pad:
+            fs.write(fd, b"\x00" * pad)
+        stats.files_processed += 1
+        stats.bytes_processed += len(data)
+    fs.write(fd, b"\x00" * 1024)  # end-of-archive
+    fs.fsync(fd)
+    fs.close(fd)
+    return stats
+
+
+def rsync_copy(
+    fs: FileSystemAPI, paths: List[str], src_root: str = "/src",
+    dst_root: str = "/dst",
+) -> UtilityStats:
+    """Model of ``rsync -a src dst`` into an empty destination: recreate the
+    directory tree, then copy each file (read + write + fsync + rename from
+    a temporary name, rsync's default whole-file protocol)."""
+    stats = UtilityStats()
+    if not fs.exists(dst_root):
+        fs.mkdir(dst_root)
+    made_dirs = set()
+    for path in paths:
+        rel = path[len(src_root) + 1 :]
+        parts = rel.split("/")
+        cursor = dst_root
+        for part in parts[:-1]:
+            cursor = f"{cursor}/{part}"
+            if cursor not in made_dirs:
+                if not fs.exists(cursor):
+                    fs.mkdir(cursor)
+                made_dirs.add(cursor)
+        fs.stat(path)
+        data = fs.read_file(path)
+        tmp = f"{cursor}/.{parts[-1]}.tmp"
+        fd = fs.open(tmp, F.O_CREAT | F.O_RDWR | F.O_TRUNC)
+        fs.write(fd, data)
+        # rsync does not fsync by default; it renames into place.
+        fs.close(fd)
+        fs.rename(tmp, f"{cursor}/{parts[-1]}")
+        stats.files_processed += 1
+        stats.bytes_processed += len(data)
+    return stats

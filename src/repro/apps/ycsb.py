@@ -1,0 +1,179 @@
+"""YCSB workload generator (Cooper et al., SoCC '10).
+
+Implements the six core workloads the paper evaluates on LevelDB:
+
+========  =========================================  ============
+workload  operation mix                              distribution
+========  =========================================  ============
+A         50% read / 50% update                      zipfian
+B         95% read / 5% update                       zipfian
+C         100% read                                  zipfian
+D         95% read / 5% insert                       latest
+E         95% scan / 5% insert                       zipfian
+F         50% read / 50% read-modify-write           zipfian
+========  =========================================  ============
+
+The Zipfian generator follows the standard YCSB algorithm (Gray et al.'s
+"Quickly generating billion-record synthetic databases" rejection form).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple
+
+ZIPFIAN_CONSTANT = 0.99
+
+
+class ZipfianGenerator:
+    """Standard YCSB Zipfian over ``[0, n)`` (most popular item is 0)."""
+
+    def __init__(self, n: int, theta: float = ZIPFIAN_CONSTANT,
+                 rng: Optional[random.Random] = None) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.theta = theta
+        self.rng = rng or random.Random(42)
+        self.zetan = self._zeta(n, theta)
+        self.zeta2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self.zeta2 / self.zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1) ** self.alpha)
+
+
+class ScrambledZipfian:
+    """Zipfian hashed over the keyspace (YCSB's default key chooser)."""
+
+    def __init__(self, n: int, rng: Optional[random.Random] = None) -> None:
+        self.n = n
+        self.z = ZipfianGenerator(n, rng=rng)
+
+    def next(self) -> int:
+        return (self.z.next() * 0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF) % self.n
+
+
+class LatestGenerator:
+    """Skewed toward recently inserted keys (workload D)."""
+
+    def __init__(self, initial_n: int, rng: Optional[random.Random] = None) -> None:
+        self.n = initial_n
+        self.z = ZipfianGenerator(initial_n, rng=rng)
+
+    def grow(self) -> None:
+        self.n += 1
+
+    def next(self) -> int:
+        return max(0, self.n - 1 - self.z.next() % self.n)
+
+
+class KVStore(Protocol):
+    """What YCSB needs from a database."""
+
+    def put(self, key: bytes, value: bytes) -> None: ...
+    def get(self, key: bytes) -> Optional[bytes]: ...
+    def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, bytes]]: ...
+
+
+@dataclass
+class YCSBConfig:
+    record_count: int = 2000
+    operation_count: int = 4000
+    value_size: int = 1000  # YCSB default: 10 fields x 100 B
+    scan_max_len: int = 100
+    seed: int = 7
+
+
+@dataclass
+class YCSBResult:
+    operations: int
+    reads: int
+    updates: int
+    inserts: int
+    scans: int
+    rmws: int
+    not_found: int
+
+
+def key_of(i: int) -> bytes:
+    return b"user%012d" % i
+
+
+#: (read%, update%, insert%, scan%, rmw%) per workload.
+WORKLOAD_MIX: Dict[str, Tuple[float, float, float, float, float]] = {
+    "A": (0.50, 0.50, 0.00, 0.00, 0.00),
+    "B": (0.95, 0.05, 0.00, 0.00, 0.00),
+    "C": (1.00, 0.00, 0.00, 0.00, 0.00),
+    "D": (0.95, 0.00, 0.05, 0.00, 0.00),
+    "E": (0.00, 0.00, 0.05, 0.95, 0.00),
+    "F": (0.50, 0.00, 0.00, 0.00, 0.50),
+}
+
+
+def load(db: KVStore, config: YCSBConfig) -> YCSBResult:
+    """The YCSB load phase: insert record_count records."""
+    rng = random.Random(config.seed)
+    value = bytes(rng.randrange(256) for _ in range(config.value_size))
+    for i in range(config.record_count):
+        db.put(key_of(i), value)
+    return YCSBResult(config.record_count, 0, 0, config.record_count, 0, 0, 0)
+
+
+def run(db: KVStore, workload: str, config: YCSBConfig) -> YCSBResult:
+    """The YCSB run phase for workload A–F."""
+    if workload not in WORKLOAD_MIX:
+        raise ValueError(f"unknown YCSB workload {workload!r}")
+    read_p, update_p, insert_p, scan_p, rmw_p = WORKLOAD_MIX[workload]
+    rng = random.Random(config.seed + 1)
+    value = bytes(rng.randrange(256) for _ in range(config.value_size))
+
+    record_count = config.record_count
+    if workload == "D":
+        chooser = LatestGenerator(record_count, rng=random.Random(config.seed + 2))
+        choose = chooser.next
+    else:
+        scrambled = ScrambledZipfian(record_count, rng=random.Random(config.seed + 2))
+        choose = scrambled.next
+
+    result = YCSBResult(0, 0, 0, 0, 0, 0, 0)
+    next_insert = record_count
+    for _ in range(config.operation_count):
+        result.operations += 1
+        r = rng.random()
+        if r < read_p:
+            result.reads += 1
+            if db.get(key_of(choose())) is None:
+                result.not_found += 1
+        elif r < read_p + update_p:
+            result.updates += 1
+            db.put(key_of(choose()), value)
+        elif r < read_p + update_p + insert_p:
+            result.inserts += 1
+            db.put(key_of(next_insert), value)
+            next_insert += 1
+            if workload == "D":
+                chooser.grow()
+        elif r < read_p + update_p + insert_p + scan_p:
+            result.scans += 1
+            length = 1 + rng.randrange(config.scan_max_len)
+            db.scan(key_of(choose()), length)
+        else:
+            result.rmws += 1
+            key = key_of(choose())
+            if db.get(key) is None:
+                result.not_found += 1
+            db.put(key, value)
+    return result

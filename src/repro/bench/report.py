@@ -1,0 +1,46 @@
+"""Plain-text renderers for the reproduced tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table (the benches print these)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_bar_figure(title: str, groups: Dict[str, Dict[str, float]],
+                      unit: str = "x", bar_width: int = 40) -> str:
+    """ASCII bar chart standing in for the paper's figures.
+
+    ``groups``: {group label: {series label: value}}, values pre-normalized.
+    """
+    lines = [title, "=" * len(title)]
+    peak = max((v for g in groups.values() for v in g.values()), default=1.0)
+    for group, series in groups.items():
+        lines.append(f"\n{group}:")
+        for label, value in series.items():
+            n = int(round(bar_width * value / peak)) if peak else 0
+            lines.append(f"  {label:<18} {'#' * n} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def fmt_us(ns: float) -> str:
+    return f"{ns / 1000:.2f}"
+
+
+def fmt_ratio(x: float) -> str:
+    return f"{x:.2f}x"

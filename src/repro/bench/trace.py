@@ -1,0 +1,195 @@
+"""Operation-trace recording and replay.
+
+A :class:`TraceRecorder` wraps any :class:`FileSystemAPI` and records every
+call as one line of a compact text format; :func:`replay` re-executes a
+trace against another file system.  This is how real workloads (the paper's
+backup datasets, production traces) are substituted: capture once on any
+system, replay identically on all eight.
+
+Format (one op per line, tab-separated; payloads are length+fill compressed
+when repetitive, else hex)::
+
+    open\t/path\tflags\t-> token
+    write\ttoken\t<payload>
+    pread\ttoken\tcount\toffset
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..posix import flags as F
+from ..posix.api import FileSystemAPI, Stat
+from ..posix.errors import FSError
+
+
+def _encode_payload(data: bytes) -> str:
+    if data and data == bytes([data[0]]) * len(data):
+        return f"fill:{len(data)}:{data[0]}"
+    return "hex:" + data.hex()
+
+
+def _decode_payload(text: str) -> bytes:
+    kind, _, rest = text.partition(":")
+    if kind == "fill":
+        length, _, fill = rest.partition(":")
+        return bytes([int(fill)]) * int(length)
+    if kind == "hex":
+        return bytes.fromhex(rest)
+    raise ValueError(f"bad payload {text!r}")
+
+
+class TraceRecorder(FileSystemAPI):
+    """Pass-through wrapper that appends one trace line per operation."""
+
+    def __init__(self, inner: FileSystemAPI) -> None:
+        self.inner = inner
+        self.lines: List[str] = []
+        self._tokens: Dict[int, int] = {}  # real fd -> stable token
+        self._next_token = 0
+
+    def _token(self, fd: int) -> int:
+        return self._tokens[fd]
+
+    def _emit(self, *fields: object) -> None:
+        self.lines.append("\t".join(str(f) for f in fields))
+
+    def dump(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+    # -- recorded operations ---------------------------------------------------
+
+    def open(self, path: str, flags: int = F.O_RDWR, mode: int = 0o644) -> int:
+        fd = self.inner.open(path, flags, mode)  # not recorded on failure
+        token = self._next_token
+        self._next_token += 1
+        self._tokens[fd] = token
+        self._emit("open", path, flags, token)
+        return fd
+
+    def close(self, fd: int) -> None:
+        token = self._tokens.pop(fd)
+        self._emit("close", token)
+        self.inner.close(fd)
+
+    def read(self, fd: int, count: int) -> bytes:
+        out = self.inner.read(fd, count)
+        self._emit("read", self._token(fd), count)
+        return out
+
+    def write(self, fd: int, data: bytes) -> int:
+        out = self.inner.write(fd, data)
+        self._emit("write", self._token(fd), _encode_payload(data))
+        return out
+
+    def pread(self, fd: int, count: int, offset: int) -> bytes:
+        out = self.inner.pread(fd, count, offset)
+        self._emit("pread", self._token(fd), count, offset)
+        return out
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        out = self.inner.pwrite(fd, data, offset)
+        self._emit("pwrite", self._token(fd), _encode_payload(data), offset)
+        return out
+
+    def lseek(self, fd: int, offset: int, whence: int = F.SEEK_SET) -> int:
+        out = self.inner.lseek(fd, offset, whence)
+        self._emit("lseek", self._token(fd), offset, whence)
+        return out
+
+    def fsync(self, fd: int) -> None:
+        self.inner.fsync(fd)
+        self._emit("fsync", self._token(fd))
+
+    def ftruncate(self, fd: int, length: int) -> None:
+        self.inner.ftruncate(fd, length)
+        self._emit("ftruncate", self._token(fd), length)
+
+    def stat(self, path: str) -> Stat:
+        out = self.inner.stat(path)  # failed probes are not recorded
+        self._emit("stat", path)
+        return out
+
+    def fstat(self, fd: int) -> Stat:
+        out = self.inner.fstat(fd)
+        self._emit("fstat", self._token(fd))
+        return out
+
+    def unlink(self, path: str) -> None:
+        self.inner.unlink(path)
+        self._emit("unlink", path)
+
+    def rename(self, old: str, new: str) -> None:
+        self.inner.rename(old, new)
+        self._emit("rename", old, new)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self.inner.mkdir(path, mode)
+        self._emit("mkdir", path)
+
+    def rmdir(self, path: str) -> None:
+        self.inner.rmdir(path)
+        self._emit("rmdir", path)
+
+    def listdir(self, path: str) -> List[str]:
+        out = self.inner.listdir(path)
+        self._emit("listdir", path)
+        return out
+
+
+def replay(fs: FileSystemAPI, trace: str, strict: bool = True) -> int:
+    """Re-execute a recorded trace against ``fs``; returns ops replayed.
+
+    With ``strict=False``, per-operation :class:`FSError` failures are
+    tolerated (useful when replaying a partial trace after a crash).
+    """
+    tokens: Dict[int, int] = {}
+    ops = 0
+    for line in trace.splitlines():
+        if not line.strip():
+            continue
+        parts = line.split("\t")
+        op = parts[0]
+        try:
+            if op == "open":
+                _, path, flags, token = parts
+                tokens[int(token)] = fs.open(path, int(flags))
+            elif op == "close":
+                fs.close(tokens.pop(int(parts[1])))
+            elif op == "read":
+                fs.read(tokens[int(parts[1])], int(parts[2]))
+            elif op == "write":
+                fs.write(tokens[int(parts[1])], _decode_payload(parts[2]))
+            elif op == "pread":
+                fs.pread(tokens[int(parts[1])], int(parts[2]), int(parts[3]))
+            elif op == "pwrite":
+                fs.pwrite(tokens[int(parts[1])], _decode_payload(parts[2]),
+                          int(parts[3]))
+            elif op == "lseek":
+                fs.lseek(tokens[int(parts[1])], int(parts[2]), int(parts[3]))
+            elif op == "fsync":
+                fs.fsync(tokens[int(parts[1])])
+            elif op == "ftruncate":
+                fs.ftruncate(tokens[int(parts[1])], int(parts[2]))
+            elif op == "stat":
+                fs.stat(parts[1])
+            elif op == "fstat":
+                fs.fstat(tokens[int(parts[1])])
+            elif op == "unlink":
+                fs.unlink(parts[1])
+            elif op == "rename":
+                fs.rename(parts[1], parts[2])
+            elif op == "mkdir":
+                fs.mkdir(parts[1])
+            elif op == "rmdir":
+                fs.rmdir(parts[1])
+            elif op == "listdir":
+                fs.listdir(parts[1])
+            else:
+                raise ValueError(f"unknown trace op {op!r}")
+            ops += 1
+        except FSError:
+            if strict:
+                raise
+    return ops

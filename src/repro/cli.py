@@ -1,0 +1,153 @@
+"""Command-line interface: run the reproduction's experiments and demos.
+
+Usage::
+
+    python -m repro systems                     # list the evaluated systems
+    python -m repro table1 [--total-mb 8]       # the headline overhead table
+    python -m repro syscalls                    # Table 6 latencies
+    python -m repro iopatterns                  # Figure 4 sweeps
+    python -m repro ycsb --system splitfs-strict --workload A
+    python -m repro crashdemo                   # Table 3 semantics, live
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import (
+    append_4k_workload,
+    io_pattern_workload,
+    syscall_latency_workload,
+    ycsb_workload,
+)
+from .bench.report import render_table
+from .factory import GUARANTEE_GROUPS, SYSTEM_NAMES
+from .pmem.constants import PM_WRITE_4K_NS
+
+
+def cmd_systems(_args: argparse.Namespace) -> int:
+    rows = []
+    for group, systems in GUARANTEE_GROUPS.items():
+        for system in systems:
+            rows.append([system, group])
+    print(render_table("Evaluated file systems", ["system", "guarantees"], rows))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    rows = []
+    for system in ("ext4dax", "pmfs", "nova-strict", "splitfs-strict",
+                   "splitfs-posix"):
+        m = append_4k_workload(system, total_bytes=args.total_mb << 20)
+        overhead = m.ns_per_op - PM_WRITE_4K_NS
+        rows.append([system, f"{m.ns_per_op:.0f}", f"{overhead:.0f}",
+                     f"{overhead / PM_WRITE_4K_NS * 100:.0f}%"])
+    print(render_table(
+        "Table 1: 4K append software overhead (671 ns = raw PM write)",
+        ["file system", "append ns/op", "overhead ns", "overhead %"], rows))
+    return 0
+
+
+def cmd_syscalls(args: argparse.Namespace) -> int:
+    systems = args.system or ["splitfs-strict", "splitfs-posix", "ext4dax"]
+    results = {s: syscall_latency_workload(s) for s in systems}
+    calls = ["open", "close", "append", "fsync", "read", "unlink"]
+    rows = [[c] + [f"{results[s][c] / 1000:.2f}" for s in systems]
+            for c in calls]
+    print(render_table("Table 6: system-call latencies (us)",
+                       ["syscall"] + systems, rows))
+    return 0
+
+
+def cmd_iopatterns(args: argparse.Namespace) -> int:
+    systems = args.system or list(SYSTEM_NAMES)
+    patterns = ["seq-read", "rand-read", "seq-write", "rand-write", "append"]
+    rows = []
+    for system in systems:
+        row = [system]
+        for pattern in patterns:
+            m = io_pattern_workload(system, pattern,
+                                    file_bytes=args.file_mb << 20)
+            row.append(f"{m.operations / (m.total_ns / 1e9) / 1e6:.2f}")
+        rows.append(row)
+    print(render_table(
+        f"Figure 4: throughput in Mops/s ({args.file_mb} MB file, 4K ops)",
+        ["system"] + patterns, rows))
+    return 0
+
+
+def cmd_ycsb(args: argparse.Namespace) -> int:
+    m = ycsb_workload(args.system, args.workload,
+                      record_count=args.records, operation_count=args.ops)
+    print(f"{args.system} YCSB-{args.workload}: "
+          f"{m.kops_per_sec:.1f} kops/s "
+          f"({m.ns_per_op:.0f} ns/op, "
+          f"software overhead {m.software_overhead_ns_per_op:.0f} ns/op)")
+    return 0
+
+
+def cmd_crashdemo(_args: argparse.Namespace) -> int:
+    from .core import Mode, SplitFS, recover
+    from .ext4.filesystem import Ext4DaxFS
+    from .kernel.machine import Machine
+    from .posix import flags as F
+
+    for mode in (Mode.POSIX, Mode.SYNC, Mode.STRICT):
+        machine = Machine(96 * 1024 * 1024)
+        fs = SplitFS(Ext4DaxFS.format(machine), mode=mode)
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"unsynced append")
+        machine.crash()
+        kfs, _ = recover(machine, strict=mode is Mode.STRICT)
+        survived = kfs.exists("/f") and kfs.stat("/f").st_size > 0
+        print(f"{mode.value:<7} unsynced append survived crash: {survived}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SplitFS reproduction experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="list evaluated file systems")
+
+    p = sub.add_parser("table1", help="Table 1: 4K append overhead")
+    p.add_argument("--total-mb", type=int, default=8)
+
+    p = sub.add_parser("syscalls", help="Table 6: syscall latencies")
+    p.add_argument("--system", action="append", choices=SYSTEM_NAMES)
+
+    p = sub.add_parser("iopatterns", help="Figure 4: IO pattern sweep")
+    p.add_argument("--system", action="append", choices=SYSTEM_NAMES)
+    p.add_argument("--file-mb", type=int, default=8)
+
+    p = sub.add_parser("ycsb", help="run one YCSB workload")
+    p.add_argument("--system", default="splitfs-strict", choices=SYSTEM_NAMES)
+    p.add_argument("--workload", default="A",
+                   choices=["load", "A", "B", "C", "D", "E", "F"])
+    p.add_argument("--records", type=int, default=1000)
+    p.add_argument("--ops", type=int, default=1500)
+
+    sub.add_parser("crashdemo", help="Table 3 crash semantics, live")
+    return parser
+
+
+_COMMANDS = {
+    "systems": cmd_systems,
+    "table1": cmd_table1,
+    "syscalls": cmd_syscalls,
+    "iopatterns": cmd_iopatterns,
+    "ycsb": cmd_ycsb,
+    "crashdemo": cmd_crashdemo,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""SplitFS core: the paper's primary contribution.
+
+Public surface::
+
+    from repro.core import SplitFS, SplitFSConfig, Mode, recover
+"""
+
+from .mmap_collection import MmapCollection
+from .modes import Mode
+from .oplog import OperationLog
+from .recovery import RecoveryReport, recover
+from .splitfs import SplitFS, SplitFSConfig
+from .staging import StagingManager
+
+__all__ = [
+    "SplitFS",
+    "SplitFSConfig",
+    "Mode",
+    "recover",
+    "RecoveryReport",
+    "OperationLog",
+    "StagingManager",
+    "MmapCollection",
+]

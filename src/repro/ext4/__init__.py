@@ -1,0 +1,20 @@
+"""Simulated ext4-DAX (the kernel half of SplitFS) with the relink patch."""
+
+from .extents import ExtentMap, FileExtent
+from .filesystem import ROOT_INO, Ext4Config, Ext4DaxFS
+from .fsck import FsckReport, assert_clean, fsck
+from .inode import Inode, deserialize_inode, serialize_inode
+
+__all__ = [
+    "ExtentMap",
+    "FileExtent",
+    "Ext4Config",
+    "Ext4DaxFS",
+    "fsck",
+    "assert_clean",
+    "FsckReport",
+    "ROOT_INO",
+    "Inode",
+    "serialize_inode",
+    "deserialize_inode",
+]

@@ -1,0 +1,109 @@
+"""Directory-entry blocks for the simulated ext4.
+
+Directory data is an array of fixed 64-byte (one cache line) dirent slots
+stored in the directory inode's data blocks.  Slot layout::
+
+    u32 ino   (0 = free slot)
+    u8  name_len
+    bytes name (<= 59)
+
+Keeping slots stable means a single create/unlink only rewrites one block
+through the journal.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from ..pmem import constants as C
+from ..posix.errors import NameTooLongFSError
+
+DIRENT_SIZE = C.CACHELINE_SIZE
+SLOTS_PER_BLOCK = C.BLOCK_SIZE // DIRENT_SIZE
+MAX_NAME_LEN = DIRENT_SIZE - 5
+
+
+class DirData:
+    """Runtime view of one directory's entries."""
+
+    def __init__(self) -> None:
+        # slot index -> (name, ino); missing index = free slot
+        self.slots: Dict[int, Tuple[str, int]] = {}
+        self.by_name: Dict[str, int] = {}  # name -> slot index
+        self.nslots = 0  # slots materialized on the device (capacity)
+
+    # -- queries -----------------------------------------------------------------
+
+    def lookup(self, name: str) -> Optional[int]:
+        slot = self.by_name.get(name)
+        if slot is None:
+            return None
+        return self.slots[slot][1]
+
+    def names(self) -> List[str]:
+        return sorted(self.by_name)
+
+    def __len__(self) -> int:
+        return len(self.by_name)
+
+    # -- mutation (returns the block index that must be journaled) ------------------
+
+    def add(self, name: str, ino: int) -> int:
+        if len(name.encode()) > MAX_NAME_LEN:
+            raise NameTooLongFSError(f"name too long: {name!r}")
+        if name in self.by_name:
+            raise ValueError(f"duplicate dirent {name!r}")
+        slot = 0
+        while slot in self.slots:
+            slot += 1
+        self.slots[slot] = (name, ino)
+        self.by_name[name] = slot
+        self.nslots = max(self.nslots, slot + 1)
+        return slot // SLOTS_PER_BLOCK
+
+    def remove(self, name: str) -> int:
+        slot = self.by_name.pop(name)
+        del self.slots[slot]
+        return slot // SLOTS_PER_BLOCK
+
+    def replace(self, name: str, ino: int) -> int:
+        """Point an existing name at a different inode (rename-over)."""
+        slot = self.by_name[name]
+        self.slots[slot] = (name, ino)
+        return slot // SLOTS_PER_BLOCK
+
+    # -- serialization ------------------------------------------------------------------
+
+    def capacity_blocks(self) -> int:
+        return (self.nslots + SLOTS_PER_BLOCK - 1) // SLOTS_PER_BLOCK
+
+    def serialize_block(self, block_index: int) -> bytes:
+        out = bytearray(C.BLOCK_SIZE)
+        base = block_index * SLOTS_PER_BLOCK
+        for i in range(SLOTS_PER_BLOCK):
+            entry = self.slots.get(base + i)
+            if entry is None:
+                continue
+            name, ino = entry
+            raw_name = name.encode()
+            struct.pack_into("<IB", out, i * DIRENT_SIZE, ino, len(raw_name))
+            out[i * DIRENT_SIZE + 5 : i * DIRENT_SIZE + 5 + len(raw_name)] = raw_name
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, blocks: List[bytes]) -> "DirData":
+        d = cls()
+        for bi, raw in enumerate(blocks):
+            for i in range(SLOTS_PER_BLOCK):
+                ino, name_len = struct.unpack_from("<IB", raw, i * DIRENT_SIZE)
+                if ino == 0:
+                    continue
+                name = raw[
+                    i * DIRENT_SIZE + 5 : i * DIRENT_SIZE + 5 + name_len
+                ].decode()
+                slot = bi * SLOTS_PER_BLOCK + i
+                d.slots[slot] = (name, ino)
+                d.by_name[name] = slot
+                d.nslots = max(d.nslots, slot + 1)
+        return d

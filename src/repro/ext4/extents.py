@@ -1,0 +1,189 @@
+"""Logical→physical extent maps for ext4-style inodes.
+
+An :class:`ExtentMap` maps logical file blocks to physical device blocks as a
+sorted list of non-overlapping extents.  The SplitFS relink primitive is pure
+extent-map surgery — punching a logical range out of one inode and splicing
+the physical blocks into another — so this module is where relink's atomicity
+unit lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..pmem import constants as C
+from ..pmem.allocator import Extent
+
+
+@dataclass(frozen=True)
+class FileExtent:
+    """``length`` blocks mapping logical block ``logical`` → physical ``phys``."""
+
+    logical: int
+    phys: int
+    length: int
+
+    @property
+    def logical_end(self) -> int:
+        return self.logical + self.length
+
+    @property
+    def phys_end(self) -> int:
+        return self.phys + self.length
+
+
+class ExtentMap:
+    """Sorted, non-overlapping logical→physical block map."""
+
+    def __init__(self, extents: Optional[List[FileExtent]] = None) -> None:
+        self.extents: List[FileExtent] = list(extents or [])
+        self._validate()
+
+    def _validate(self) -> None:
+        self.extents.sort(key=lambda e: e.logical)
+        for a, b in zip(self.extents, self.extents[1:]):
+            if a.logical_end > b.logical:
+                raise ValueError(f"overlapping extents {a} and {b}")
+
+    def __iter__(self) -> Iterator[FileExtent]:
+        return iter(self.extents)
+
+    def __len__(self) -> int:
+        return len(self.extents)
+
+    @property
+    def blocks_used(self) -> int:
+        return sum(e.length for e in self.extents)
+
+    def copy(self) -> "ExtentMap":
+        return ExtentMap(list(self.extents))
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup_block(self, logical: int) -> Optional[int]:
+        """Physical block for ``logical``, or None for a hole."""
+        for e in self.extents:
+            if e.logical <= logical < e.logical_end:
+                return e.phys + (logical - e.logical)
+        return None
+
+    def map_byte_range(
+        self, offset: int, size: int, block_size: int = C.BLOCK_SIZE
+    ) -> List[Tuple[Optional[int], int]]:
+        """Resolve ``[offset, offset+size)`` to ``(device_byte_addr, run)`` pieces.
+
+        Holes come back as ``(None, run)``.  Runs never cross extent
+        boundaries but do span whole extents.
+        """
+        if offset < 0 or size < 0:
+            raise ValueError("negative offset/size")
+        out: List[Tuple[Optional[int], int]] = []
+        pos = offset
+        end = offset + size
+        i = 0
+        exts = self.extents
+        while pos < end:
+            # Find the extent containing pos, or the next one after it.
+            while i < len(exts) and exts[i].logical_end * block_size <= pos:
+                i += 1
+            if i == len(exts) or exts[i].logical * block_size >= end:
+                out.append((None, end - pos))
+                break
+            ext = exts[i]
+            ext_start = ext.logical * block_size
+            ext_end = ext.logical_end * block_size
+            if pos < ext_start:
+                out.append((None, ext_start - pos))
+                pos = ext_start
+            run = min(end, ext_end) - pos
+            addr = ext.phys * block_size + (pos - ext_start)
+            out.append((addr, run))
+            pos += run
+        return out
+
+    # -- mutation --------------------------------------------------------------------
+
+    def insert(self, logical: int, phys: int, length: int) -> None:
+        """Insert a mapping; the logical range must currently be a hole."""
+        if length <= 0:
+            return
+        new = FileExtent(logical, phys, length)
+        for e in self.extents:
+            if e.logical < new.logical_end and new.logical < e.logical_end:
+                raise ValueError(f"insert {new} overlaps {e}")
+        self.extents.append(new)
+        self.extents.sort(key=lambda e: e.logical)
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        merged: List[FileExtent] = []
+        for e in self.extents:
+            if (
+                merged
+                and merged[-1].logical_end == e.logical
+                and merged[-1].phys_end == e.phys
+            ):
+                prev = merged.pop()
+                merged.append(FileExtent(prev.logical, prev.phys, prev.length + e.length))
+            else:
+                merged.append(e)
+        self.extents = merged
+
+    def punch(self, logical: int, length: int) -> List[Extent]:
+        """Remove mappings for logical blocks ``[logical, logical+length)``.
+
+        Returns the physical extents that were mapped there (for the caller
+        to free, or to splice into another inode).
+        """
+        if length <= 0:
+            return []
+        end = logical + length
+        kept: List[FileExtent] = []
+        removed: List[Extent] = []
+        for e in self.extents:
+            if e.logical_end <= logical or e.logical >= end:
+                kept.append(e)
+                continue
+            # Head piece survives.
+            if e.logical < logical:
+                kept.append(FileExtent(e.logical, e.phys, logical - e.logical))
+            # Tail piece survives.
+            if e.logical_end > end:
+                off = end - e.logical
+                kept.append(FileExtent(end, e.phys + off, e.logical_end - end))
+            cut_start = max(e.logical, logical)
+            cut_end = min(e.logical_end, end)
+            removed.append(
+                Extent(e.phys + (cut_start - e.logical), cut_end - cut_start)
+            )
+        kept.sort(key=lambda e: e.logical)
+        self.extents = kept
+        return removed
+
+    def slice_mappings(self, logical: int, length: int) -> List[FileExtent]:
+        """The mapped pieces of logical range (no holes), without mutating."""
+        end = logical + length
+        out: List[FileExtent] = []
+        for e in self.extents:
+            if e.logical_end <= logical or e.logical >= end:
+                continue
+            cut_start = max(e.logical, logical)
+            cut_end = min(e.logical_end, end)
+            out.append(
+                FileExtent(cut_start, e.phys + (cut_start - e.logical), cut_end - cut_start)
+            )
+        return out
+
+    def truncate_blocks(self, nblocks: int) -> List[Extent]:
+        """Drop every mapping at or beyond logical block ``nblocks``."""
+        tail = max(
+            (e.logical_end for e in self.extents), default=0
+        )
+        if tail <= nblocks:
+            return []
+        return self.punch(nblocks, tail - nblocks)
+
+    def physical_extents(self) -> List[Extent]:
+        """All physical extents backing this map (for dealloc at unlink)."""
+        return [Extent(e.phys, e.length) for e in self.extents]

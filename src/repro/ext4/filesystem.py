@@ -1,0 +1,835 @@
+"""ext4 with Direct Access (DAX): the kernel file system under SplitFS.
+
+A deliberately faithful miniature of ext4-DAX as the paper uses it:
+
+* metadata (inodes, directory blocks) is journaled through a JBD2-style redo
+  journal — a single global running transaction that commits on ``fsync``,
+  exactly like ext4's single running jbd2 transaction;
+* data is written in place through DAX with non-temporal stores and becomes
+  durable at ``fsync`` (flush + fence), so appends need an ``fsync`` to
+  survive a crash — POSIX-mode semantics per the paper's Table 3;
+* ``ioctl_relink`` implements the paper's 500-line kernel patch: a
+  metadata-only, journaled move of extents from one file to another
+  (built on the ``EXT4_IOC_MOVE_EXT`` swap, modified to skip data copies
+  and to keep existing memory mappings valid).
+
+Device layout::
+
+    block 0                superblock
+    blocks 1 .. J          journal region
+    blocks J+1 .. J+I      inode table (one block per inode)
+    blocks J+I+1 ..        data region (extent allocator)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..journal.jbd2 import Journal, Transaction
+from ..kernel.fsbase import FDTable, KernelCosts, OpenFile, new_offset
+from ..kernel.machine import Machine
+from ..pmem import constants as C
+from ..pmem.allocator import Extent, ExtentAllocator
+from ..pmem.timing import Category
+from ..posix import flags as F
+from ..posix.api import FileSystemAPI, Stat, split_path
+from ..posix.errors import (
+    DirectoryNotEmptyFSError,
+    FileExistsFSError,
+    FileNotFoundFSError,
+    InvalidArgumentFSError,
+    IsADirectoryFSError,
+    NoSpaceFSError,
+    NotADirectoryFSError,
+    PermissionFSError,
+)
+from .dirent import DirData
+from .inode import (Inode, cont_blocks_needed, deserialize_inode,
+                    free_inode_block, serialize_inode)
+
+_SB_MAGIC = 0x45585434  # "EXT4"
+_SB_FMT = "<IQIIIII"  # magic, total_blocks, jstart, jblocks, itable_start, max_inodes, data_start
+
+ROOT_INO = 1
+
+
+@dataclass
+class Ext4Config:
+    """Format-time parameters."""
+
+    journal_blocks: int = 1024  # 4 MB journal
+    max_inodes: int = 2048
+
+
+class Ext4DaxFS(FileSystemAPI, KernelCosts):
+    """The simulated ext4-DAX instance (K-Split in SplitFS terms)."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.pm = machine.pm
+        self.clock = machine.clock
+        # Populated by format()/mount():
+        self.config = Ext4Config()
+        self.total_blocks = 0
+        self.itable_start = 0
+        self.data_start = 0
+        self.journal: Journal = None  # type: ignore[assignment]
+        self.alloc: ExtentAllocator = None  # type: ignore[assignment]
+        self.inodes: Dict[int, Inode] = {}
+        self.dirs: Dict[int, DirData] = {}
+        self.free_inos: List[int] = []
+        self.fdt = FDTable()
+        self.txn = Transaction()
+        self.dirty_data: Dict[int, List[Tuple[int, int]]] = {}
+        self.orphans: Set[int] = set()
+        # Freed blocks whose contents may still sit in committed journal
+        # transactions (dir data, extent continuation blocks).  They return
+        # to the allocator only when the journal region resets — the
+        # miniature of ext4's revoke handling.
+        self._quarantine: List[Extent] = []
+        # Path-cost constants; subclasses (PMFS) override with their own.
+        self.cost_write_path = C.EXT4_WRITE_PATH_CPU_NS
+        self.cost_append_extra = C.EXT4_APPEND_EXTRA_CPU_NS
+        self.cost_read_path = C.EXT4_READ_PATH_CPU_NS
+        self.cost_read_per_page = C.EXT4_READ_PER_PAGE_CPU_NS
+        self.cost_open = C.EXT4_OPEN_CPU_NS
+        self.cost_close = C.EXT4_CLOSE_CPU_NS
+        self.cost_unlink = C.EXT4_UNLINK_CPU_NS
+
+    # ------------------------------------------------------------------
+    # format / mount
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def format(cls, machine: Machine, config: Optional[Ext4Config] = None) -> "Ext4DaxFS":
+        """mkfs: lay out superblock, journal, inode table, empty root."""
+        fs = cls(machine)
+        fs.config = config or Ext4Config()
+        fs.total_blocks = machine.pm.size // C.BLOCK_SIZE
+        jstart = 1
+        fs.itable_start = jstart + fs.config.journal_blocks
+        data_start = fs.itable_start + fs.config.max_inodes
+        # Align the data region to 2 MB so contiguous allocations are
+        # huge-page eligible (real mkfs aligns block groups similarly).
+        hp = C.BLOCKS_PER_HUGE_PAGE
+        fs.data_start = (data_start + hp - 1) // hp * hp
+        if fs.data_start + 16 > fs.total_blocks:
+            raise ValueError("device too small for this Ext4Config")
+
+        sb = struct.pack(
+            _SB_FMT,
+            _SB_MAGIC,
+            fs.total_blocks,
+            jstart,
+            fs.config.journal_blocks,
+            fs.itable_start,
+            fs.config.max_inodes,
+            fs.data_start,
+        )
+        machine.pm.poke(0, sb)
+
+        fs._init_journal(jstart, fs.config.journal_blocks)
+
+        fs.alloc = ExtentAllocator(
+            fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start
+        )
+        root = Inode(ino=ROOT_INO, mode=0o755, is_dir=True, nlink=2)
+        fs.inodes[ROOT_INO] = root
+        fs.dirs[ROOT_INO] = DirData()
+        machine.pm.poke(fs._inode_addr(ROOT_INO), serialize_inode(root)[0])
+        fs.free_inos = list(range(fs.config.max_inodes - 1, ROOT_INO, -1))
+        return fs
+
+    @classmethod
+    def mount(cls, machine: Machine) -> "Ext4DaxFS":
+        """Mount an existing image: journal recovery, then metadata scan."""
+        fs = cls(machine)
+        raw = machine.pm.load(0, struct.calcsize(_SB_FMT), category=Category.META_IO)
+        magic, total, jstart, jblocks, itable_start, max_inodes, data_start = struct.unpack(
+            _SB_FMT, raw
+        )
+        if magic != _SB_MAGIC:
+            raise ValueError("not an ext4 image")
+        fs.config = Ext4Config(journal_blocks=jblocks, max_inodes=max_inodes)
+        fs.total_blocks = total
+        fs.itable_start = itable_start
+        fs.data_start = data_start
+
+        fs._recover_journal(jstart, jblocks)
+
+        fs.alloc = ExtentAllocator(
+            total - data_start, clock=fs.clock, first_block=data_start
+        )
+        fs.free_inos = []
+
+        def read_cont(block_no: int) -> bytes:
+            return machine.pm.load(block_no * C.BLOCK_SIZE, C.BLOCK_SIZE,
+                                   category=Category.META_IO)
+
+        for ino in range(max_inodes - 1, 0, -1):
+            raw = machine.pm.load(fs._inode_addr(ino), C.BLOCK_SIZE, category=Category.META_IO)
+            inode = deserialize_inode(raw, read_block=read_cont)
+            if inode is None or inode.nlink == 0:
+                fs.free_inos.append(ino)
+                continue
+            fs.inodes[ino] = inode
+            for ext in inode.extmap.physical_extents():
+                fs.alloc.reserve(ext.start, ext.length)
+            for block in inode.cont_blocks:
+                fs.alloc.reserve(block, 1)
+        if ROOT_INO not in fs.inodes:
+            raise ValueError("image has no root inode")
+        for ino, inode in fs.inodes.items():
+            if inode.is_dir:
+                blocks = []
+                for bi in range(inode.size // C.BLOCK_SIZE):
+                    phys = inode.extmap.lookup_block(bi)
+                    if phys is None:
+                        blocks.append(b"\x00" * C.BLOCK_SIZE)
+                    else:
+                        blocks.append(
+                            machine.pm.load(
+                                phys * C.BLOCK_SIZE, C.BLOCK_SIZE, category=Category.META_IO
+                            )
+                        )
+                fs.dirs[ino] = DirData.deserialize(blocks)
+        return fs
+
+    # -- journal hooks (PMFS overrides these with its undo journal) -----
+
+    def _init_journal(self, jstart: int, jblocks: int) -> None:
+        self.journal = Journal(self.pm, jstart, jblocks)
+        self.journal.format()
+        self.journal.on_reset = self._flush_quarantine
+
+    def _recover_journal(self, jstart: int, jblocks: int) -> None:
+        self.journal = Journal(self.pm, jstart, jblocks)
+        self.journal.recover()
+        self.journal.on_reset = self._flush_quarantine
+
+    def _flush_quarantine(self) -> None:
+        """The journal region reset: no stale transactions can replay any
+        more, so quarantined blocks may re-enter the allocator."""
+        if self._quarantine:
+            self.alloc.free(self._quarantine)
+            self._quarantine = []
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+
+    def _inode_addr(self, ino: int) -> int:
+        if not 0 < ino < self.config.max_inodes:
+            raise InvalidArgumentFSError(f"bad inode number {ino}")
+        return (self.itable_start + ino) * C.BLOCK_SIZE
+
+    def _maybe_background_commit(self) -> None:
+        """kjournald: commit the running transaction when it grows large.
+
+        Called only at operation entry, never mid-operation, so each
+        metadata operation stays atomic within one transaction.
+        """
+        if self.journal is not None and len(self.txn) >= max(
+            8, self.journal.nblocks // 8
+        ):
+            self.journal.commit(self.txn)
+            self.txn = Transaction()
+
+    def _journal_inode(self, inode: Inode) -> None:
+        self._provision_cont_blocks(inode)
+        blocks = serialize_inode(inode)
+        self.txn.add_block(self._inode_addr(inode.ino), blocks[0])
+        for addr, content in zip(inode.cont_blocks, blocks[1:]):
+            self.txn.add_block(addr * C.BLOCK_SIZE, content)
+
+    def _provision_cont_blocks(self, inode: Inode) -> None:
+        """Grow the inode's extent-tree continuation chain as needed.
+
+        Continuation blocks are never shrunk in place (freed only at inode
+        release) so that committed journal transactions referencing them
+        cannot clobber reused blocks at replay time.
+        """
+        need = cont_blocks_needed(len(inode.extmap))
+        while len(inode.cont_blocks) < need:
+            self.clock.charge_cpu(C.ALLOC_CPU_NS)
+            inode.cont_blocks.append(self.alloc.alloc(1)[0].start)
+
+    def _journal_inode_free(self, ino: int) -> None:
+        self.txn.add_block(self._inode_addr(ino), free_inode_block())
+
+    def _journal_dir_block(self, dir_ino: int, block_index: int) -> None:
+        inode = self.inodes[dir_ino]
+        phys = inode.extmap.lookup_block(block_index)
+        if phys is None:
+            raise AssertionError("directory block not allocated")
+        data = self.dirs[dir_ino].serialize_block(block_index)
+        self.txn.add_block(phys * C.BLOCK_SIZE, data)
+
+    def _resolve(self, path: str) -> int:
+        comps = split_path(path)
+        ino = ROOT_INO
+        for comp in comps:
+            inode = self.inodes.get(ino)
+            if inode is None or not inode.is_dir:
+                raise NotADirectoryFSError(path)
+            child = self.dirs[ino].lookup(comp)
+            if child is None:
+                raise FileNotFoundFSError(path)
+            ino = child
+        return ino
+
+    def _resolve_parent(self, path: str) -> Tuple[int, str]:
+        comps = split_path(path)
+        if not comps:
+            raise InvalidArgumentFSError("cannot operate on /")
+        parent = ROOT_INO
+        for comp in comps[:-1]:
+            inode = self.inodes.get(parent)
+            if inode is None or not inode.is_dir:
+                raise NotADirectoryFSError(path)
+            child = self.dirs[parent].lookup(comp)
+            if child is None:
+                raise FileNotFoundFSError(path)
+            parent = child
+        if not self.inodes[parent].is_dir:
+            raise NotADirectoryFSError(path)
+        return parent, comps[-1]
+
+    def _dir_add(self, dir_ino: int, name: str, ino: int) -> None:
+        """Add a dirent, allocating a directory data block if needed."""
+        d = self.dirs[dir_ino]
+        block_index = d.add(name, ino)
+        dir_inode = self.inodes[dir_ino]
+        if block_index * C.BLOCK_SIZE >= dir_inode.size:
+            exts = self.alloc.alloc(1)
+            dir_inode.extmap.insert(block_index, exts[0].start, 1)
+            dir_inode.size = (block_index + 1) * C.BLOCK_SIZE
+            self._journal_inode(dir_inode)
+        self._journal_dir_block(dir_ino, block_index)
+
+    def _new_inode(self, is_dir: bool, mode: int) -> Inode:
+        if not self.free_inos:
+            raise NoSpaceFSError("inode table full")
+        ino = self.free_inos.pop()
+        inode = Inode(ino=ino, mode=mode, is_dir=is_dir, nlink=2 if is_dir else 1)
+        self.inodes[ino] = inode
+        if is_dir:
+            self.dirs[ino] = DirData()
+        self.clock.charge_cpu(C.EXT4_CREATE_CPU_NS)
+        return inode
+
+    def _release_inode(self, ino: int) -> None:
+        """Free an inode's blocks and table slot (nlink == 0, no opens)."""
+        inode = self.inodes.pop(ino)
+        freed = inode.extmap.physical_extents()
+        if freed:
+            if inode.is_dir:
+                # Directory data blocks were journaled: quarantine them.
+                self._quarantine.extend(freed)
+            else:
+                self.alloc.free(freed)
+        if inode.cont_blocks:
+            self._quarantine.extend(Extent(b, 1) for b in inode.cont_blocks)
+        self.dirs.pop(ino, None)
+        self.dirty_data.pop(ino, None)
+        self.orphans.discard(ino)
+        self._journal_inode_free(ino)
+        self.free_inos.append(ino)
+
+    def _record_dirty(self, ino: int, addr: int, length: int) -> None:
+        self.dirty_data.setdefault(ino, []).append((addr, length))
+
+    # ------------------------------------------------------------------
+    # block provisioning and raw IO on a file
+    # ------------------------------------------------------------------
+
+    def _ensure_blocks(self, inode: Inode, offset: int, size: int) -> None:
+        """Allocate (and zero) any holes under ``[offset, offset+size)``."""
+        first = offset // C.BLOCK_SIZE
+        last = (offset + size - 1) // C.BLOCK_SIZE
+        hole_runs: List[Tuple[int, int]] = []
+        run_start = None
+        for lb in range(first, last + 1):
+            if inode.extmap.lookup_block(lb) is None:
+                if run_start is None:
+                    run_start = lb
+            elif run_start is not None:
+                hole_runs.append((run_start, lb - run_start))
+                run_start = None
+        if run_start is not None:
+            hole_runs.append((run_start, last + 1 - run_start))
+        for logical, nblocks in hole_runs:
+            exts = None
+            if logical == 0 and not inode.extmap.extents:
+                # mballoc-style goal alignment: start a file's data on a
+                # 2 MB boundary when possible, so contiguous growth stays
+                # huge-page eligible.
+                aligned = self.alloc.alloc_aligned(nblocks,
+                                                   C.BLOCKS_PER_HUGE_PAGE)
+                if aligned is not None:
+                    exts = [aligned]
+            elif logical > 0:
+                # Allocation goal: continue right after the previous block.
+                prev = inode.extmap.lookup_block(logical - 1)
+                if prev is not None:
+                    goal = self.alloc.alloc_at(prev + 1, nblocks)
+                    if goal is not None:
+                        exts = [goal]
+            if exts is None:
+                exts = self.alloc.alloc(nblocks)
+            for ext in exts:
+                inode.extmap.insert(logical, ext.start, ext.length)
+                # New blocks are zeroed before exposure (as ext4 does); only
+                # the parts the caller will not overwrite strictly need it,
+                # but charging the full zeroing keeps the model honest.
+                partial_head = logical == first and offset % C.BLOCK_SIZE
+                partial_tail = (
+                    logical + ext.length - 1 == last
+                    and (offset + size) % C.BLOCK_SIZE
+                )
+                if partial_head or partial_tail:
+                    self.pm.store(
+                        ext.start * C.BLOCK_SIZE,
+                        b"\x00" * (ext.length * C.BLOCK_SIZE),
+                        category=Category.DATA,
+                    )
+                logical += ext.length
+
+    def _store_range(self, inode: Inode, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset`` over already-provisioned blocks."""
+        pos = 0
+        for addr, run in inode.extmap.map_byte_range(offset, len(data)):
+            if addr is None:
+                raise AssertionError("write over unprovisioned hole")
+            self.pm.store(addr, data[pos : pos + run], category=Category.DATA)
+            self._record_dirty(inode.ino, addr, run)
+            pos += run
+
+    def _load_range(self, inode: Inode, offset: int, size: int, random_access: bool) -> bytes:
+        out = []
+        for addr, run in inode.extmap.map_byte_range(offset, size):
+            if addr is None:
+                out.append(b"\x00" * run)
+            else:
+                out.append(self.pm.load(addr, run, category=Category.DATA,
+                                        random_access=random_access))
+        return b"".join(out)
+
+    # ------------------------------------------------------------------
+    # FileSystemAPI: lifecycle
+    # ------------------------------------------------------------------
+
+    def open(self, path: str, flags: int = F.O_RDWR, mode: int = 0o644) -> int:
+        self._trap()
+        self._walk(path)
+        self._maybe_background_commit()
+        self.clock.charge_cpu(self.cost_open)
+        parent, name = self._resolve_parent(path)
+        ino = self.dirs[parent].lookup(name)
+        if ino is None:
+            if not flags & F.O_CREAT:
+                raise FileNotFoundFSError(path)
+            inode = self._new_inode(is_dir=False, mode=mode)
+            self._dir_add(parent, name, inode.ino)
+            self._journal_inode(inode)
+            ino = inode.ino
+        else:
+            if flags & F.O_CREAT and flags & F.O_EXCL:
+                raise FileExistsFSError(path)
+            inode = self.inodes[ino]
+            if inode.is_dir and F.writable(flags):
+                raise IsADirectoryFSError(path)
+            if flags & F.O_TRUNC and F.writable(flags):
+                self._truncate(inode, 0)
+        of = self.fdt.install(ino, flags, path)
+        return of.fd
+
+    def close(self, fd: int) -> None:
+        self._trap()
+        self.clock.charge_cpu(self.cost_close)
+        of = self.fdt.remove(fd)
+        if of.ino in self.orphans and self.fdt.open_count(of.ino) == 0:
+            self._release_inode(of.ino)
+
+    def unlink(self, path: str) -> None:
+        self._trap()
+        self._walk(path)
+        self._maybe_background_commit()
+        self.clock.charge_cpu(self.cost_unlink)
+        parent, name = self._resolve_parent(path)
+        ino = self.dirs[parent].lookup(name)
+        if ino is None:
+            raise FileNotFoundFSError(path)
+        inode = self.inodes[ino]
+        if inode.is_dir:
+            raise IsADirectoryFSError(path)
+        block_index = self.dirs[parent].remove(name)
+        self._journal_dir_block(parent, block_index)
+        inode.nlink -= 1
+        if inode.nlink == 0:
+            if self.fdt.open_count(ino) > 0:
+                self.orphans.add(ino)
+                self._journal_inode(inode)
+            else:
+                self._release_inode(ino)
+        else:
+            self._journal_inode(inode)
+
+    def rename(self, old: str, new: str) -> None:
+        self._trap()
+        self._walk(old)
+        self._maybe_background_commit()
+        self._walk(new)
+        old_parent, old_name = self._resolve_parent(old)
+        new_parent, new_name = self._resolve_parent(new)
+        ino = self.dirs[old_parent].lookup(old_name)
+        if ino is None:
+            raise FileNotFoundFSError(old)
+        target = self.dirs[new_parent].lookup(new_name)
+        if target is not None:
+            if target == ino:
+                return
+            tgt_inode = self.inodes[target]
+            if tgt_inode.is_dir:
+                if len(self.dirs[target]):
+                    raise DirectoryNotEmptyFSError(new)
+                self.dirs.pop(target)
+                self.inodes[new_parent].nlink -= 1
+            bi = self.dirs[new_parent].replace(new_name, ino)
+            self._journal_dir_block(new_parent, bi)
+            tgt_inode.nlink = 0
+            if self.fdt.open_count(target) > 0:
+                self.orphans.add(target)
+                self._journal_inode(tgt_inode)
+            else:
+                self._release_inode(target)
+        else:
+            self._dir_add(new_parent, new_name, ino)
+        bi = self.dirs[old_parent].remove(old_name)
+        self._journal_dir_block(old_parent, bi)
+        if self.inodes[ino].is_dir and old_parent != new_parent:
+            self.inodes[old_parent].nlink -= 1
+            self.inodes[new_parent].nlink += 1
+            self._journal_inode(self.inodes[old_parent])
+            self._journal_inode(self.inodes[new_parent])
+
+    # ------------------------------------------------------------------
+    # FileSystemAPI: data
+    # ------------------------------------------------------------------
+
+    def _writable_of(self, fd: int) -> OpenFile:
+        of = self.fdt.get(fd)
+        if not F.writable(of.flags):
+            raise PermissionFSError(f"fd {fd} not open for writing")
+        return of
+
+    def _readable_of(self, fd: int) -> OpenFile:
+        of = self.fdt.get(fd)
+        if not F.readable(of.flags):
+            raise PermissionFSError(f"fd {fd} not open for reading")
+        return of
+
+    def read(self, fd: int, count: int) -> bytes:
+        of = self._readable_of(fd)
+        data = self._do_read(of, count, of.offset)
+        of.offset += len(data)
+        return data
+
+    def pread(self, fd: int, count: int, offset: int) -> bytes:
+        return self._do_read(self._readable_of(fd), count, offset)
+
+    def _do_read(self, of: OpenFile, count: int, offset: int) -> bytes:
+        self._trap()
+        inode = self.inodes[of.ino]
+        if inode.is_dir:
+            raise IsADirectoryFSError(of.path)
+        if offset >= inode.size or count <= 0:
+            self.clock.charge_cpu(self.cost_read_path)
+            return b""
+        count = min(count, inode.size - offset)
+        npages = (count + C.BLOCK_SIZE - 1) // C.BLOCK_SIZE
+        self.clock.charge_cpu(
+            self.cost_read_path + npages * self.cost_read_per_page
+        )
+        random_access = offset != getattr(of, "last_read_end", None)
+        data = self._load_range(inode, offset, count, random_access)
+        of.last_read_end = offset + count  # type: ignore[attr-defined]
+        return data
+
+    def write(self, fd: int, data: bytes) -> int:
+        of = self._writable_of(fd)
+        if of.flags & F.O_APPEND:
+            of.offset = self.inodes[of.ino].size
+        n = self._do_write(of, data, of.offset)
+        of.offset += n
+        return n
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        return self._do_write(self._writable_of(fd), data, offset)
+
+    def _do_write(self, of: OpenFile, data: bytes, offset: int) -> int:
+        self._trap()
+        self._maybe_background_commit()
+        self.clock.charge_cpu(self.cost_write_path + C.KERNEL_LOCK_NS)
+        if not data:
+            return 0
+        inode = self.inodes[of.ino]
+        if inode.is_dir:
+            raise IsADirectoryFSError(of.path)
+        end = offset + len(data)
+        extmap_len = len(inode.extmap)
+        if end > inode.size:
+            self.clock.charge_cpu(self.cost_append_extra)
+        self._ensure_blocks(inode, offset, len(data))
+        self._store_range(inode, offset, data)
+        if end > inode.size or len(inode.extmap) != extmap_len:
+            inode.size = max(inode.size, end)
+            self._journal_inode(inode)
+        return len(data)
+
+    def fsync(self, fd: int) -> None:
+        self._trap()
+        of = self.fdt.get(fd)
+        # DAX fsync: walk the file's dirty ranges, write back each cache
+        # line, fence, then commit the running journal transaction.
+        ranges = self.dirty_data.pop(of.ino, [])
+        lines = sum((length + C.CACHELINE_SIZE - 1) // C.CACHELINE_SIZE
+                    for _, length in ranges)
+        if lines:
+            self.clock.charge_cpu(lines * C.CLWB_NS)
+        self.pm.sfence(category=Category.CPU)
+        if self.txn:
+            # A synchronous fsync-initiated commit pays the commit-thread
+            # handshake on top of the commit itself (unlike the inline
+            # commit relink performs).
+            self.clock.charge_cpu(C.EXT4_FSYNC_COMMIT_WAIT_NS)
+        self.journal.commit(self.txn)
+        self.txn = Transaction()
+
+    def sync(self) -> None:
+        """Commit outstanding metadata (kjournald periodic commit)."""
+        self.pm.sfence(category=Category.CPU)
+        self.journal.commit(self.txn)
+        self.txn = Transaction()
+
+    def lseek(self, fd: int, offset: int, whence: int = F.SEEK_SET) -> int:
+        of = self.fdt.get(fd)
+        of.offset = new_offset(of, self.inodes[of.ino].size, offset, whence)
+        return of.offset
+
+    def ftruncate(self, fd: int, length: int) -> None:
+        self._trap()
+        of = self._writable_of(fd)
+        self._truncate(self.inodes[of.ino], length)
+
+    def _truncate(self, inode: Inode, length: int) -> None:
+        if length < 0:
+            raise InvalidArgumentFSError("negative truncate length")
+        if length < inode.size:
+            keep_blocks = (length + C.BLOCK_SIZE - 1) // C.BLOCK_SIZE
+            freed = inode.extmap.truncate_blocks(keep_blocks)
+            if freed:
+                self.alloc.free(freed)
+        inode.size = length
+        self._journal_inode(inode)
+
+    def fallocate(self, fd: int, length: int, huge_aligned: bool = False) -> None:
+        """Pre-allocate blocks for ``[0, length)`` (SplitFS staging files).
+
+        With ``huge_aligned`` the allocation is attempted as one 2 MB-aligned
+        contiguous run so the region is eligible for huge-page mappings;
+        falls back to ordinary allocation when fragmentation prevents it.
+        """
+        self._trap()
+        of = self._writable_of(fd)
+        inode = self.inodes[of.ino]
+        nblocks = (length + C.BLOCK_SIZE - 1) // C.BLOCK_SIZE
+        missing = [
+            lb for lb in range(nblocks) if inode.extmap.lookup_block(lb) is None
+        ]
+        if missing and huge_aligned and not inode.extmap.extents:
+            ext = self.alloc.alloc_aligned(nblocks, C.BLOCKS_PER_HUGE_PAGE)
+            if ext is not None:
+                inode.extmap.insert(0, ext.start, ext.length)
+                missing = []
+        i = 0
+        while i < len(missing):
+            run_start = missing[i]
+            run_len = 1
+            while i + run_len < len(missing) and missing[i + run_len] == run_start + run_len:
+                run_len += 1
+            cursor = run_start
+            for ext in self.alloc.alloc(run_len):
+                inode.extmap.insert(cursor, ext.start, ext.length)
+                cursor += ext.length
+            i += run_len
+        if length > inode.size:
+            inode.size = length
+        self._journal_inode(inode)
+
+    # ------------------------------------------------------------------
+    # FileSystemAPI: metadata
+    # ------------------------------------------------------------------
+
+    def _stat_inode(self, inode: Inode) -> Stat:
+        return Stat(
+            st_ino=inode.ino,
+            st_size=inode.size,
+            st_mode=inode.mode,
+            st_nlink=inode.nlink,
+            st_blocks=inode.blocks,
+            is_dir=inode.is_dir,
+        )
+
+    def stat(self, path: str) -> Stat:
+        self._trap()
+        self._walk(path)
+        self.clock.charge_cpu(C.KERNEL_STAT_CPU_NS)
+        return self._stat_inode(self.inodes[self._resolve(path)])
+
+    def fstat(self, fd: int) -> Stat:
+        self._trap()
+        self.clock.charge_cpu(C.KERNEL_STAT_CPU_NS)
+        return self._stat_inode(self.inodes[self.fdt.get(fd).ino])
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self._trap()
+        self._walk(path)
+        self._maybe_background_commit()
+        parent, name = self._resolve_parent(path)
+        if self.dirs[parent].lookup(name) is not None:
+            raise FileExistsFSError(path)
+        inode = self._new_inode(is_dir=True, mode=mode)
+        self._dir_add(parent, name, inode.ino)
+        self._journal_inode(inode)
+        self.inodes[parent].nlink += 1
+        self._journal_inode(self.inodes[parent])
+
+    def rmdir(self, path: str) -> None:
+        self._trap()
+        self._walk(path)
+        self._maybe_background_commit()
+        parent, name = self._resolve_parent(path)
+        ino = self.dirs[parent].lookup(name)
+        if ino is None:
+            raise FileNotFoundFSError(path)
+        inode = self.inodes[ino]
+        if not inode.is_dir:
+            raise NotADirectoryFSError(path)
+        if len(self.dirs[ino]):
+            raise DirectoryNotEmptyFSError(path)
+        bi = self.dirs[parent].remove(name)
+        self._journal_dir_block(parent, bi)
+        inode.nlink = 0
+        self._release_inode(ino)
+        self.inodes[parent].nlink -= 1
+        self._journal_inode(self.inodes[parent])
+
+    def listdir(self, path: str) -> List[str]:
+        self._trap()
+        self._walk(path)
+        ino = self._resolve(path)
+        inode = self.inodes[ino]
+        if not inode.is_dir:
+            raise NotADirectoryFSError(path)
+        names = self.dirs[ino].names()
+        self.clock.charge_cpu(len(names) * 50.0)
+        return names
+
+    # ------------------------------------------------------------------
+    # The SplitFS kernel patch: relink
+    # ------------------------------------------------------------------
+
+    def ioctl_relink(
+        self, src_fd: int, src_off: int, dst_fd: int, dst_off: int, size: int,
+        commit: bool = True,
+    ) -> None:
+        """Atomically move ``size`` bytes of *blocks* from src to dst.
+
+        ``relink(file1, offset1, file2, offset2, size)`` per the paper:
+        metadata-only when offsets share block phase; partial head/tail
+        blocks are byte-copied.  Wrapped in one journal transaction.
+        Existing memory mappings of the moved blocks stay valid (the blocks
+        do not move physically).
+        """
+        self._trap()
+        if size <= 0:
+            return
+        src_of = self.fdt.get(src_fd)
+        dst_of = self.fdt.get(dst_fd)
+        src = self.inodes[src_of.ino]
+        dst = self.inodes[dst_of.ino]
+        if src.is_dir or dst.is_dir:
+            raise IsADirectoryFSError("relink on a directory")
+        if src_off % C.BLOCK_SIZE != dst_off % C.BLOCK_SIZE:
+            # Phases differ: no block can be shared; fall back to byte copy.
+            self._relink_copy(src, src_off, dst, dst_off, size)
+        else:
+            self._relink_move(src, src_off, dst, dst_off, size)
+        dst.size = max(dst.size, dst_off + size)
+        self._journal_inode(src)
+        self._journal_inode(dst)
+        if commit:
+            self.commit_running_txn()
+        self.dirty_data.pop(dst.ino, None)
+
+    def commit_running_txn(self) -> None:
+        """Inline journal commit (ioctl path: no fsync commit-thread wait).
+
+        The commit's fence also makes posted (movnt'd) staged data durable.
+        U-Split batches several relinks under one commit per fsync."""
+        self.journal.commit(self.txn)
+        self.txn = Transaction()
+
+    def _relink_copy(self, src: Inode, src_off: int, dst: Inode, dst_off: int,
+                     size: int) -> None:
+        data = self._load_range(src, src_off, size, random_access=False)
+        self._ensure_blocks(dst, dst_off, size)
+        self._store_range(dst, dst_off, data)
+
+    def _relink_move(self, src: Inode, src_off: int, dst: Inode, dst_off: int,
+                     size: int) -> None:
+        # 1. Partial head block (offset mid-block): byte copy.
+        head = min(size, (-dst_off) % C.BLOCK_SIZE)
+        if head:
+            self._relink_copy(src, src_off, dst, dst_off, head)
+        core_size = size - head
+        if core_size == 0:
+            return
+        src_core = src_off + head
+        dst_core = dst_off + head
+        assert src_core % C.BLOCK_SIZE == 0 and dst_core % C.BLOCK_SIZE == 0
+        # 2. A trailing partial block can be swapped whole *unless* dst has
+        #    live data beyond the range inside that block.
+        tail = core_size % C.BLOCK_SIZE
+        nblocks = core_size // C.BLOCK_SIZE
+        if tail and dst.size > dst_off + size:
+            # Must preserve dst bytes after the range: copy the tail.
+            self._relink_copy(src, src_core + nblocks * C.BLOCK_SIZE,
+                              dst, dst_core + nblocks * C.BLOCK_SIZE, tail)
+        elif tail:
+            nblocks += 1  # swap the trailing partial block wholesale
+        if nblocks == 0:
+            return
+        src_first = src_core // C.BLOCK_SIZE
+        dst_first = dst_core // C.BLOCK_SIZE
+        mapped = sum(e.length for e in src.extmap.slice_mappings(src_first, nblocks))
+        if mapped != nblocks:
+            # Source range has holes; degenerate to a byte copy.
+            self._relink_copy(src, src_core, dst, dst_core,
+                              min(core_size, nblocks * C.BLOCK_SIZE))
+            return
+        # The MOVE_EXT dance: blocks must exist at the destination before the
+        # swap; we account the temporary allocation as CPU work.
+        self.clock.charge_cpu(C.ALLOC_CPU_NS)
+        replaced = dst.extmap.punch(dst_first, nblocks)
+        if replaced:
+            self.alloc.free(replaced)
+        moved = src.extmap.punch(src_first, nblocks)
+        self.clock.charge_cpu(len(moved) * C.RELINK_PER_EXTENT_CPU_NS)
+        cursor = dst_first
+        for ext in moved:
+            dst.extmap.insert(cursor, ext.start, ext.length)
+            cursor += ext.length

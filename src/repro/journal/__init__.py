@@ -1,0 +1,5 @@
+"""Journaling substrate (JBD2-style block redo journal)."""
+
+from .jbd2 import Journal, JournalFullError, JournalStats, Transaction
+
+__all__ = ["Journal", "JournalFullError", "JournalStats", "Transaction"]

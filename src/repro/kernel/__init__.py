@@ -1,0 +1,22 @@
+"""Simulated kernel substrate: machine, VM subsystem, process model."""
+
+from .fsbase import FDTable, KernelCosts, OpenFile, new_offset
+from .machine import DEFAULT_PM_SIZE, Machine
+from .process import Process, SharedMemoryStore
+from .vfs import VFS
+from .vm import Mapping, VirtualMemory, VMStats
+
+__all__ = [
+    "FDTable",
+    "KernelCosts",
+    "OpenFile",
+    "new_offset",
+    "Machine",
+    "DEFAULT_PM_SIZE",
+    "Process",
+    "SharedMemoryStore",
+    "VFS",
+    "Mapping",
+    "VirtualMemory",
+    "VMStats",
+]

@@ -1,0 +1,30 @@
+"""The simulated machine: one clock, one PM device, one VM subsystem."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..pmem.device import PersistentMemory, VolatileMemory
+from ..pmem.timing import SimClock
+from .vm import VirtualMemory
+
+#: Default device size for tests and examples (256 MB).
+DEFAULT_PM_SIZE = 256 * 1024 * 1024
+
+
+class Machine:
+    """Bundles the shared substrate a file system instance runs on."""
+
+    def __init__(self, pm_size: int = DEFAULT_PM_SIZE, dram_size: int = 0) -> None:
+        self.clock = SimClock()
+        self.pm = PersistentMemory(pm_size, self.clock)
+        self.vm = VirtualMemory(self.clock)
+        self.dram: Optional[VolatileMemory] = (
+            VolatileMemory(dram_size, self.clock) if dram_size else None
+        )
+
+    def crash(self, policy=None) -> None:
+        """Power failure: PM loses un-persisted lines, DRAM loses everything."""
+        self.pm.crash(policy)
+        if self.dram is not None:
+            self.dram.crash()

@@ -1,0 +1,52 @@
+"""Minimal process model for U-Split's fork/execve/dup semantics.
+
+SplitFS lives in the address space of the application, so process lifecycle
+events matter to it (paper Section 3.5): ``fork`` duplicates the library
+state into the child, ``execve`` wipes the address space but must preserve
+open descriptors (the real SplitFS stashes its tables in a ``/dev/shm`` file
+keyed by pid and re-reads them after exec).  This module provides just enough
+process machinery to exercise those code paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+_pid_counter = itertools.count(100)
+
+
+@dataclass
+class SharedMemoryStore:
+    """Simulated ``/dev/shm``: pid-keyed blobs that survive execve (but not
+    machine crashes)."""
+
+    files: Dict[str, bytes] = field(default_factory=dict)
+
+    def write(self, name: str, data: bytes) -> None:
+        self.files[name] = data
+
+    def read(self, name: str) -> Optional[bytes]:
+        return self.files.get(name)
+
+    def remove(self, name: str) -> None:
+        self.files.pop(name, None)
+
+    def crash(self) -> None:
+        self.files.clear()
+
+
+class Process:
+    """A simulated process; carries the pid U-Split keys its shm state by."""
+
+    def __init__(self, pid: Optional[int] = None, parent: Optional["Process"] = None):
+        self.pid = pid if pid is not None else next(_pid_counter)
+        self.parent = parent
+        self.alive = True
+
+    def fork(self) -> "Process":
+        return Process(parent=self)
+
+    def __repr__(self) -> str:
+        return f"Process(pid={self.pid})"

@@ -1,0 +1,182 @@
+"""Virtual-memory subsystem: VMAs, page faults, huge pages.
+
+SplitFS's data path lives or dies by this machinery: U-Split ``mmap``s 2 MB
+file regions with ``MAP_POPULATE`` and serves reads/overwrites with loads and
+stores, so the costs that remain are page faults at mapping time.  The paper
+(Section 4) stresses two properties this model reproduces:
+
+* page faults are a dominant cost once device IO is fast, and
+* huge pages need both the *virtual* and *physical* 2 MB alignment, so PM
+  fragmentation silently degrades mappings to 4 KB pages (halving read
+  performance in the paper's experience).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from ..pmem import constants as C
+from ..pmem.allocator import Extent
+from ..pmem.timing import SimClock
+
+
+@dataclass
+class VMStats:
+    faults_4k: int = 0
+    faults_huge: int = 0
+    vmas_created: int = 0
+    vmas_destroyed: int = 0
+    huge_mappings: int = 0
+    small_mappings: int = 0
+
+
+@dataclass
+class Segment:
+    """A physically contiguous piece of a mapping."""
+
+    map_offset: int  # offset within the mapping
+    device_addr: int  # byte address on the PM device
+    length: int  # bytes
+
+
+class Mapping:
+    """One VMA: a virtual window onto (possibly several) device extents."""
+
+    def __init__(
+        self,
+        vm: "VirtualMemory",
+        segments: List[Segment],
+        huge: bool,
+        populated: bool,
+    ) -> None:
+        self._vm = vm
+        self.segments = segments
+        self.length = sum(s.length for s in segments)
+        self.huge = huge
+        self.active = True
+        self._page_size = C.HUGE_PAGE_SIZE if huge else C.BLOCK_SIZE
+        npages = (self.length + self._page_size - 1) // self._page_size
+        self._npages = npages
+        self._populated: Set[int] = set(range(npages)) if populated else set()
+
+    def translate(self, offset: int, length: int) -> List[Tuple[int, int]]:
+        """Map ``[offset, offset+length)`` within the VMA to device ranges.
+
+        Returns ``[(device_addr, run_length), ...]``.  Raises if the range
+        falls outside the mapping.
+        """
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise ValueError(
+                f"range [{offset}, {offset + length}) outside mapping of {self.length}"
+            )
+        self._fault_in(offset, length)
+        out: List[Tuple[int, int]] = []
+        remaining = length
+        pos = offset
+        for seg in self.segments:
+            if remaining == 0:
+                break
+            seg_end = seg.map_offset + seg.length
+            if pos >= seg_end or pos + remaining <= seg.map_offset:
+                continue
+            inner = pos - seg.map_offset
+            run = min(seg.length - inner, remaining)
+            out.append((seg.device_addr + inner, run))
+            pos += run
+            remaining -= run
+        if remaining:
+            raise ValueError("mapping segments do not cover requested range")
+        return out
+
+    def _fault_in(self, offset: int, length: int) -> None:
+        """Charge demand faults for any not-yet-populated pages touched."""
+        if len(self._populated) == self._npages:
+            return
+        first = offset // self._page_size
+        last = (offset + max(length, 1) - 1) // self._page_size
+        for page in range(first, last + 1):
+            if page not in self._populated:
+                self._populated.add(page)
+                self._vm._charge_fault(self.huge)
+
+    def unmap(self) -> None:
+        if self.active:
+            self.active = False
+            self._vm._destroy(self)
+
+
+class VirtualMemory:
+    """Per-machine VM subsystem; charges mapping and fault costs."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self.stats = VMStats()
+
+    # -- internal charging ----------------------------------------------------
+
+    def _charge_fault(self, huge: bool) -> None:
+        if huge:
+            self.stats.faults_huge += 1
+            self.clock.charge_cpu(C.PAGE_FAULT_HUGE_NS)
+        else:
+            self.stats.faults_4k += 1
+            self.clock.charge_cpu(C.PAGE_FAULT_4K_NS)
+
+    def _destroy(self, mapping: Mapping) -> None:
+        self.stats.vmas_destroyed += 1
+        self.clock.charge_cpu(C.MUNMAP_NS)
+
+    # -- public API ---------------------------------------------------------------
+
+    def mmap_extents(
+        self,
+        extents: List[Extent],
+        populate: bool = True,
+        want_huge: bool = True,
+        block_size: int = C.BLOCK_SIZE,
+    ) -> Mapping:
+        """Create a mapping over device ``extents`` (in logical order).
+
+        Huge pages are used only when the paper's conditions hold: the whole
+        mapping is one physically contiguous run whose device address and
+        length are 2 MB-aligned.  Otherwise the mapping silently falls back
+        to 4 KB pages (more populate faults).
+        """
+        self.clock.charge_cpu(C.VMA_SETUP_NS)
+        self.stats.vmas_created += 1
+
+        segments: List[Segment] = []
+        pos = 0
+        for ext in extents:
+            addr = ext.start * block_size
+            length = ext.length * block_size
+            if segments and segments[-1].device_addr + segments[-1].length == addr:
+                prev = segments[-1]
+                segments[-1] = Segment(prev.map_offset, prev.device_addr, prev.length + length)
+            else:
+                segments.append(Segment(pos, addr, length))
+            pos += length
+        total = pos
+
+        huge = (
+            want_huge
+            and len(segments) == 1
+            and total >= C.HUGE_PAGE_SIZE
+            and segments[0].device_addr % C.HUGE_PAGE_SIZE == 0
+            and total % C.HUGE_PAGE_SIZE == 0
+        )
+        if huge:
+            self.stats.huge_mappings += 1
+        else:
+            self.stats.small_mappings += 1
+
+        mapping = Mapping(self, segments, huge=huge, populated=False)
+        if populate:
+            # MAP_POPULATE: take every fault up front.
+            page = C.HUGE_PAGE_SIZE if huge else C.BLOCK_SIZE
+            npages = (total + page - 1) // page
+            for _ in range(npages):
+                self._charge_fault(huge)
+            mapping._populated = set(range(npages))
+        return mapping

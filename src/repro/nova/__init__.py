@@ -1,0 +1,7 @@
+"""Simulated NOVA (strict and relaxed variants)."""
+
+from . import log
+from . import fsck
+from .filesystem import NovaConfig, NovaFS, NovaInode, ROOT_INO
+
+__all__ = ["NovaFS", "NovaConfig", "NovaInode", "ROOT_INO", "log", "fsck"]

@@ -1,0 +1,122 @@
+"""NOVA per-inode log structures.
+
+NOVA (FAST '16) keeps one log per inode: a chain of 4 KB log pages holding
+64-byte entries.  An operation appends an entry, fences, then persists the
+inode's tail pointer — the paper's SplitFS comparison hinges on this costing
+*two* cache-line writes and *two* fences per operation (entry + tail), versus
+SplitFS's one and one.
+
+Log page layout: slots 0..62 hold entries; slot 63 holds the next-page
+pointer record.  Entry formats (64 bytes each)::
+
+    WRITE      type=1: ino, pgoff, nblocks, phys_block, new_size
+    SETATTR    type=2: ino, new_size
+    DIRENT_ADD type=3: child ino, name (<= 50 bytes)
+    DIRENT_RM  type=4: name (<= 50 bytes)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..pmem import constants as C
+
+ENTRY_SIZE = C.CACHELINE_SIZE
+ENTRIES_PER_PAGE = C.BLOCK_SIZE // ENTRY_SIZE - 1  # last slot = next pointer
+
+T_WRITE = 1
+T_SETATTR = 2
+T_DIRENT_ADD = 3
+T_DIRENT_RM = 4
+
+_WRITE_FMT = "<BxxxIIIIQ"  # type, ino, pgoff, nblocks, phys, new_size
+_SETATTR_FMT = "<BxxxIQ"  # type, ino, new_size
+_DIRENT_FMT = "<BBxxI"  # type, name_len, child ino ; name follows (<=50)
+_NEXT_FMT = "<BxxxI"  # type=255, next page block
+T_NEXT = 255
+
+MAX_NOVA_NAME = ENTRY_SIZE - struct.calcsize(_DIRENT_FMT)
+
+
+@dataclass(frozen=True)
+class WriteEntry:
+    ino: int
+    pgoff: int
+    nblocks: int
+    phys: int
+    new_size: int
+
+
+@dataclass(frozen=True)
+class SetattrEntry:
+    ino: int
+    new_size: int
+
+
+@dataclass(frozen=True)
+class DirentAddEntry:
+    child_ino: int
+    name: str
+
+
+@dataclass(frozen=True)
+class DirentRmEntry:
+    name: str
+
+
+LogEntry = Union[WriteEntry, SetattrEntry, DirentAddEntry, DirentRmEntry]
+
+
+def encode_entry(entry: LogEntry) -> bytes:
+    if isinstance(entry, WriteEntry):
+        raw = struct.pack(
+            _WRITE_FMT, T_WRITE, entry.ino, entry.pgoff, entry.nblocks,
+            entry.phys, entry.new_size,
+        )
+    elif isinstance(entry, SetattrEntry):
+        raw = struct.pack(_SETATTR_FMT, T_SETATTR, entry.ino, entry.new_size)
+    elif isinstance(entry, DirentAddEntry):
+        name = entry.name.encode()
+        if len(name) > MAX_NOVA_NAME:
+            raise ValueError(f"NOVA dirent name too long: {entry.name!r}")
+        raw = struct.pack(_DIRENT_FMT, T_DIRENT_ADD, len(name), entry.child_ino) + name
+    elif isinstance(entry, DirentRmEntry):
+        name = entry.name.encode()
+        if len(name) > MAX_NOVA_NAME:
+            raise ValueError(f"NOVA dirent name too long: {entry.name!r}")
+        raw = struct.pack(_DIRENT_FMT, T_DIRENT_RM, len(name), 0) + name
+    else:  # pragma: no cover - exhaustive
+        raise TypeError(f"unknown log entry {entry!r}")
+    return raw + b"\x00" * (ENTRY_SIZE - len(raw))
+
+
+def decode_entry(raw: bytes) -> Optional[LogEntry]:
+    etype = raw[0]
+    if etype == T_WRITE:
+        _, ino, pgoff, nblocks, phys, new_size = struct.unpack_from(_WRITE_FMT, raw)
+        return WriteEntry(ino, pgoff, nblocks, phys, new_size)
+    if etype == T_SETATTR:
+        _, ino, new_size = struct.unpack_from(_SETATTR_FMT, raw)
+        return SetattrEntry(ino, new_size)
+    if etype in (T_DIRENT_ADD, T_DIRENT_RM):
+        _, name_len, child = struct.unpack_from(_DIRENT_FMT, raw)
+        off = struct.calcsize(_DIRENT_FMT)
+        name = raw[off : off + name_len].decode()
+        if etype == T_DIRENT_ADD:
+            return DirentAddEntry(child, name)
+        return DirentRmEntry(name)
+    return None
+
+
+def encode_next_pointer(next_block: int) -> bytes:
+    raw = struct.pack(_NEXT_FMT, T_NEXT, next_block)
+    return raw + b"\x00" * (ENTRY_SIZE - len(raw))
+
+
+def decode_next_pointer(raw: bytes) -> Optional[int]:
+    if raw[0] != T_NEXT:
+        return None
+    _, next_block = struct.unpack_from(_NEXT_FMT, raw)
+    return next_block

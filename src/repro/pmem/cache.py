@@ -1,0 +1,157 @@
+"""CPU-cache persistence model for simulated PM.
+
+Persistent memory is reached through the CPU cache hierarchy.  A temporal
+store is *volatile* until the line is written back (``clwb``) and a store
+fence (``sfence``) confirms the writeback reached the ADR persistence domain.
+Non-temporal stores (``movnt``) bypass the cache but still require a fence
+before they are guaranteed durable.
+
+This module tracks, per 64-byte cache line, which lines carry updates that a
+crash would lose, and can roll the backing buffer back to its durable image.
+Crash policies model the real-world uncertainty that an unflushed line may
+still have been evicted (and thus persisted) before the crash, and that a
+line's durability is only atomic at 8-byte granularity (torn lines).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from .constants import CACHELINE_SIZE
+
+
+@dataclass
+class CrashPolicy:
+    """How un-persisted state behaves at a crash.
+
+    ``survive_probability``
+        Chance that a dirty (un-fenced) line nevertheless reached the device
+        (e.g. it was evicted from cache before the crash).  The deterministic
+        default of 0.0 drops everything not explicitly persisted.
+    ``pending_survive_probability``
+        Chance that a line which was flushed (``clwb``/``movnt``) but not yet
+        fenced made it to the persistence domain anyway.  Real hardware makes
+        this likely; the conservative default drops them.
+    ``tear_lines``
+        If true, a surviving line may persist only partially, at 8-byte
+        granularity (PM guarantees 8-byte atomic stores, nothing wider).
+    ``seed``
+        Seed for the policy's private RNG, for reproducible experiments.
+    """
+
+    survive_probability: float = 0.0
+    pending_survive_probability: float = 0.0
+    tear_lines: bool = False
+    seed: Optional[int] = None
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+
+class PersistenceDomain:
+    """Tracks the durable image of a byte buffer at cache-line granularity.
+
+    The owner holds the *current* (volatile) view in ``buf``; this class
+    remembers the durable pre-image of every line whose volatile content has
+    diverged, and which of those lines have been flushed but not fenced.
+    """
+
+    def __init__(self, buf: bytearray) -> None:
+        self.buf = buf
+        # line index -> durable content of that line
+        self._preimages: Dict[int, bytes] = {}
+        # line indexes flushed (clwb/movnt) but not yet fenced
+        self._pending_fence: Set[int] = set()
+
+    # -- line bookkeeping ---------------------------------------------------
+
+    def _line_range(self, addr: int, size: int) -> range:
+        first = addr // CACHELINE_SIZE
+        last = (addr + size - 1) // CACHELINE_SIZE
+        return range(first, last + 1)
+
+    def note_store(self, addr: int, size: int, nontemporal: bool) -> None:
+        """Record that ``[addr, addr+size)`` is about to be overwritten.
+
+        Must be called *before* the owner mutates ``buf`` so the durable
+        pre-image can be captured.
+        """
+        if size <= 0:
+            return
+        for line in self._line_range(addr, size):
+            if line not in self._preimages:
+                start = line * CACHELINE_SIZE
+                self._preimages[line] = bytes(self.buf[start : start + CACHELINE_SIZE])
+            if nontemporal:
+                self._pending_fence.add(line)
+            else:
+                # A temporal store to a line that was already flushed-but-not-
+                # fenced re-dirties it.
+                self._pending_fence.discard(line)
+
+    def clwb(self, addr: int, size: int) -> int:
+        """Flush dirty lines covering the range; returns lines flushed."""
+        flushed = 0
+        for line in self._line_range(addr, size):
+            if line in self._preimages and line not in self._pending_fence:
+                self._pending_fence.add(line)
+                flushed += 1
+        return flushed
+
+    def sfence(self) -> int:
+        """Fence: everything flushed becomes durable.  Returns lines drained."""
+        drained = len(self._pending_fence)
+        for line in self._pending_fence:
+            self._preimages.pop(line, None)
+        self._pending_fence.clear()
+        return drained
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def dirty_line_count(self) -> int:
+        return len(self._preimages)
+
+    @property
+    def pending_line_count(self) -> int:
+        return len(self._pending_fence)
+
+    def dirty_lines(self) -> Iterable[int]:
+        return self._preimages.keys()
+
+    def is_durable(self, addr: int, size: int) -> bool:
+        """True if the whole range is identical in the durable image."""
+        return not any(line in self._preimages for line in self._line_range(addr, size))
+
+    # -- crash ----------------------------------------------------------------
+
+    def crash(self, policy: Optional[CrashPolicy] = None) -> Tuple[int, int]:
+        """Apply a crash: roll un-persisted lines back to their durable image.
+
+        Returns ``(lines_lost, lines_survived)``.
+        """
+        policy = policy or CrashPolicy()
+        rng = policy.rng()
+        lost = survived = 0
+        for line, preimage in self._preimages.items():
+            if line in self._pending_fence:
+                p = policy.pending_survive_probability
+            else:
+                p = policy.survive_probability
+            start = line * CACHELINE_SIZE
+            if p > 0.0 and rng.random() < p:
+                if policy.tear_lines:
+                    # Only a random subset of the line's 8-byte words persist.
+                    for word in range(CACHELINE_SIZE // 8):
+                        if rng.random() < 0.5:
+                            off = start + word * 8
+                            self.buf[off : off + 8] = preimage[word * 8 : word * 8 + 8]
+                survived += 1
+            else:
+                self.buf[start : start + CACHELINE_SIZE] = preimage
+                lost += 1
+        self._preimages.clear()
+        self._pending_fence.clear()
+        return lost, survived

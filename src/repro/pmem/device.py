@@ -1,0 +1,190 @@
+"""Simulated persistent-memory and DRAM devices.
+
+:class:`PersistentMemory` is the byte-addressable device every file system in
+this reproduction sits on.  It combines
+
+* a flat byte buffer (the volatile view, as seen through the CPU cache),
+* a :class:`~repro.pmem.cache.PersistenceDomain` tracking what a crash keeps,
+* the Table-2 cost model: every load/store charges simulated nanoseconds to
+  the machine's :class:`~repro.pmem.timing.SimClock`, and
+* wear/IO counters (bytes read and written, split by data vs. metadata),
+  which back the write-amplification experiments.
+
+:class:`VolatileMemory` is a cost-modelled DRAM buffer used by the
+staging-in-DRAM ablation (paper Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from . import constants as C
+from .cache import CrashPolicy, PersistenceDomain
+from .timing import Category, SimClock
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative IO counters for one device."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    data_bytes_written: int = 0
+    meta_bytes_written: int = 0
+    stores: int = 0
+    loads: int = 0
+    clwb_lines: int = 0
+    fences: int = 0
+
+    def snapshot(self) -> "DeviceStats":
+        return DeviceStats(**vars(self))
+
+    def delta_since(self, earlier: "DeviceStats") -> "DeviceStats":
+        return DeviceStats(
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+        )
+
+
+class PMError(Exception):
+    """Raised on out-of-range device access."""
+
+
+class PersistentMemory:
+    """A simulated Intel-Optane-style persistent memory device."""
+
+    def __init__(self, size: int, clock: Optional[SimClock] = None) -> None:
+        if size <= 0 or size % C.BLOCK_SIZE:
+            raise ValueError(f"size must be a positive multiple of {C.BLOCK_SIZE}")
+        self.size = size
+        self.clock = clock or SimClock()
+        self.buf = bytearray(size)
+        self.domain = PersistenceDomain(self.buf)
+        self.stats = DeviceStats()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.size:
+            raise PMError(f"access [{addr}, {addr + size}) outside device of {self.size}")
+
+    # -- stores ------------------------------------------------------------------
+
+    def store(
+        self,
+        addr: int,
+        data: bytes,
+        category: Category = Category.DATA,
+        nontemporal: bool = True,
+    ) -> None:
+        """Write ``data`` at ``addr``.
+
+        Non-temporal stores (the default — both SplitFS and the kernel FSes
+        use ``movnt`` on their write paths) charge the calibrated streaming
+        write cost and become durable at the next :meth:`sfence`.  Temporal
+        stores are cheap but stay volatile until ``clwb`` + fence.
+        """
+        size = len(data)
+        self._check(addr, size)
+        if size == 0:
+            return
+        self.domain.note_store(addr, size, nontemporal=nontemporal)
+        self.buf[addr : addr + size] = data
+        self.stats.stores += 1
+        self.stats.bytes_written += size
+        if category is Category.DATA:
+            self.stats.data_bytes_written += size
+        else:
+            self.stats.meta_bytes_written += size
+        if nontemporal:
+            self.clock.charge(size * C.PM_WRITE_NS_PER_BYTE, category)
+        else:
+            lines = (size + C.CACHELINE_SIZE - 1) // C.CACHELINE_SIZE
+            self.clock.charge(lines * C.STORE_NS, category)
+
+    def persist(self, addr: int, data: bytes, category: Category = Category.META_IO) -> None:
+        """Store + clwb + sfence: the 91 ns/line durable-write primitive."""
+        self.store(addr, data, category=category, nontemporal=False)
+        self.clwb(addr, len(data), category=category)
+        self.sfence(category=category)
+
+    # -- flushes -------------------------------------------------------------------
+
+    def clwb(self, addr: int, size: int, category: Category = Category.META_IO) -> int:
+        self._check(addr, size)
+        flushed = self.domain.clwb(addr, size)
+        self.stats.clwb_lines += flushed
+        self.clock.charge(flushed * C.CLWB_NS, category)
+        return flushed
+
+    def sfence(self, category: Category = Category.META_IO) -> int:
+        drained = self.domain.sfence()
+        self.stats.fences += 1
+        self.clock.charge(C.SFENCE_NS, category)
+        return drained
+
+    # -- loads ---------------------------------------------------------------------
+
+    def load(
+        self,
+        addr: int,
+        size: int,
+        category: Category = Category.DATA,
+        random_access: bool = False,
+    ) -> bytes:
+        """Read ``size`` bytes; charges one access latency plus bandwidth."""
+        self._check(addr, size)
+        self.stats.loads += 1
+        self.stats.bytes_read += size
+        latency = C.PM_RAND_READ_LATENCY_NS if random_access else C.PM_SEQ_READ_LATENCY_NS
+        self.clock.charge(latency + size * C.PM_READ_NS_PER_BYTE, category)
+        return bytes(self.buf[addr : addr + size])
+
+    def peek(self, addr: int, size: int) -> bytes:
+        """Read without charging time (for assertions and recovery scans that
+        account their own costs)."""
+        self._check(addr, size)
+        return bytes(self.buf[addr : addr + size])
+
+    def poke(self, addr: int, data: bytes) -> None:
+        """Write without charging time, durable immediately (test setup only)."""
+        self._check(addr, len(data))
+        self.domain.note_store(addr, len(data), nontemporal=True)
+        self.buf[addr : addr + len(data)] = data
+        self.domain.sfence()
+
+    # -- crash ------------------------------------------------------------------------
+
+    def crash(self, policy: Optional[CrashPolicy] = None) -> Tuple[int, int]:
+        """Simulate a power failure: un-persisted lines revert (per policy)."""
+        return self.domain.crash(policy)
+
+    @property
+    def unpersisted_lines(self) -> int:
+        return self.domain.dirty_line_count
+
+
+class VolatileMemory:
+    """A cost-modelled DRAM buffer (contents vanish at crash)."""
+
+    def __init__(self, size: int, clock: SimClock) -> None:
+        self.size = size
+        self.clock = clock
+        self.buf = bytearray(size)
+
+    def store(self, addr: int, data: bytes, category: Category = Category.CPU) -> None:
+        if addr < 0 or addr + len(data) > self.size:
+            raise PMError("DRAM store out of range")
+        self.buf[addr : addr + len(data)] = data
+        self.clock.charge(len(data) * C.DRAM_WRITE_NS_PER_BYTE, category)
+
+    def load(self, addr: int, size: int, category: Category = Category.CPU) -> bytes:
+        if addr < 0 or addr + size > self.size:
+            raise PMError("DRAM load out of range")
+        self.clock.charge(
+            C.DRAM_ACCESS_LATENCY_NS + size * C.DRAM_READ_NS_PER_BYTE, category
+        )
+        return bytes(self.buf[addr : addr + size])
+
+    def crash(self) -> None:
+        self.buf = bytearray(self.size)

@@ -1,0 +1,151 @@
+"""Simulated-time accounting.
+
+All performance results in this reproduction are *simulated*: operations
+charge nanoseconds to a :class:`SimClock`, split into three categories:
+
+``data``
+    PM device time spent moving *file data* (the payload of reads, writes,
+    and appends).
+``meta_io``
+    PM device time spent on file-system metadata: journal blocks, operation
+    logs, inode/log-tail updates.
+``cpu``
+    Everything else: kernel traps, path walks, allocation, locking, page
+    faults, user-space bookkeeping.
+
+The paper (Section 5.7) defines *software overhead* as the time taken to
+service a call minus the time spent actually accessing file data on the
+device; with these categories that is simply ``total - data``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+class Category(enum.Enum):
+    """What a span of simulated time was spent on."""
+
+    DATA = "data"
+    META_IO = "meta_io"
+    CPU = "cpu"
+
+
+@dataclass
+class TimeAccount:
+    """A bucket of charged simulated time, split by category."""
+
+    data_ns: float = 0.0
+    meta_io_ns: float = 0.0
+    cpu_ns: float = 0.0
+
+    def charge(self, ns: float, category: Category) -> None:
+        if ns < 0:
+            raise ValueError(f"negative charge: {ns}")
+        if category is Category.DATA:
+            self.data_ns += ns
+        elif category is Category.META_IO:
+            self.meta_io_ns += ns
+        else:
+            self.cpu_ns += ns
+
+    @property
+    def total_ns(self) -> float:
+        return self.data_ns + self.meta_io_ns + self.cpu_ns
+
+    @property
+    def software_overhead_ns(self) -> float:
+        """Paper Section 5.7: total time minus device time on file data."""
+        return self.total_ns - self.data_ns
+
+    def snapshot(self) -> "TimeAccount":
+        return TimeAccount(self.data_ns, self.meta_io_ns, self.cpu_ns)
+
+    def delta_since(self, earlier: "TimeAccount") -> "TimeAccount":
+        return TimeAccount(
+            self.data_ns - earlier.data_ns,
+            self.meta_io_ns - earlier.meta_io_ns,
+            self.cpu_ns - earlier.cpu_ns,
+        )
+
+    def merged_with(self, other: "TimeAccount") -> "TimeAccount":
+        return TimeAccount(
+            self.data_ns + other.data_ns,
+            self.meta_io_ns + other.meta_io_ns,
+            self.cpu_ns + other.cpu_ns,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "data_ns": self.data_ns,
+            "meta_io_ns": self.meta_io_ns,
+            "cpu_ns": self.cpu_ns,
+            "total_ns": self.total_ns,
+            "software_overhead_ns": self.software_overhead_ns,
+        }
+
+
+@dataclass
+class SimClock:
+    """The simulated clock for one machine.
+
+    The clock is strictly monotonic; charging advances ``now_ns``.  A stack of
+    secondary :class:`TimeAccount` scopes lets callers measure the cost of a
+    region (e.g. one system call, or one whole workload) without resetting
+    global time.
+    """
+
+    account: TimeAccount = field(default_factory=TimeAccount)
+    _scopes: list = field(default_factory=list)
+
+    @property
+    def now_ns(self) -> float:
+        return self.account.total_ns
+
+    def charge(self, ns: float, category: Category = Category.CPU) -> None:
+        """Advance simulated time by ``ns`` in the given category."""
+        self.account.charge(ns, category)
+        for scope in self._scopes:
+            scope.charge(ns, category)
+
+    def charge_cpu(self, ns: float) -> None:
+        self.charge(ns, Category.CPU)
+
+    def measure(self) -> "MeasureScope":
+        """Context manager measuring time charged inside the ``with`` body."""
+        return MeasureScope(self)
+
+
+class MeasureScope:
+    """Context manager that accumulates charges made while it is active."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self.account = TimeAccount()
+        self._active = False
+
+    def __enter__(self) -> TimeAccount:
+        self._clock._scopes.append(self.account)
+        self._active = True
+        return self.account
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self._clock._scopes.remove(self.account)
+        self._active = False
+
+
+def iter_categories() -> Iterator[Category]:
+    return iter(Category)
+
+
+def format_ns(ns: float, precision: int = 0) -> str:
+    """Render a nanosecond quantity with a human-friendly unit."""
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.{precision}f}ns"

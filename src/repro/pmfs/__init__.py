@@ -1,0 +1,6 @@
+"""Simulated PMFS (sync-mode baseline)."""
+
+from .filesystem import PmfsConfig, PmfsFS
+from .journal import UndoJournal
+
+__all__ = ["PmfsFS", "PmfsConfig", "UndoJournal"]

@@ -1,0 +1,103 @@
+"""PMFS: in-place PM file system with fine-grained undo journaling.
+
+PMFS is the paper's *sync-mode* baseline (Table 3): every operation is
+synchronous — data and metadata are durable when the call returns — but data
+operations are not atomic.  It shares the namespace/extent machinery with the
+ext4 model and differs exactly where the real systems differ:
+
+* metadata updates are applied **in place** under a cache-line-granularity
+  undo journal (:mod:`repro.pmfs.journal`) and committed per operation,
+  instead of ext4's batched whole-block redo journaling;
+* data writes fence before returning, so ``fsync`` has nothing to do.
+"""
+
+from __future__ import annotations
+
+from ..ext4.filesystem import Ext4Config, Ext4DaxFS
+from ..ext4.inode import Inode, free_inode_block, serialize_inode
+from ..kernel.fsbase import OpenFile
+from ..kernel.machine import Machine
+from ..pmem import constants as C
+from ..pmem.timing import Category
+from ..posix.errors import InvalidArgumentFSError
+from .journal import UndoJournal
+
+PmfsConfig = Ext4Config
+
+
+class PmfsFS(Ext4DaxFS):
+    """The simulated PMFS instance."""
+
+    def __init__(self, machine: Machine) -> None:
+        super().__init__(machine)
+        self.undo: UndoJournal = None  # type: ignore[assignment]
+        self.cost_write_path = C.PMFS_WRITE_PATH_CPU_NS
+        self.cost_append_extra = C.PMFS_APPEND_EXTRA_CPU_NS
+        self.cost_read_path = C.PMFS_READ_PATH_CPU_NS
+        self.cost_read_per_page = C.EXT4_READ_PER_PAGE_CPU_NS * 0.7
+        self.cost_open = C.EXT4_OPEN_CPU_NS * 0.8
+        self.cost_unlink = C.EXT4_UNLINK_CPU_NS * 0.5
+
+    # -- journal hooks ------------------------------------------------------
+
+    def _init_journal(self, jstart: int, jblocks: int) -> None:
+        self.journal = None  # type: ignore[assignment]
+        self.undo = UndoJournal(self.pm, jstart, jblocks)
+        self.undo.format()
+
+    def _recover_journal(self, jstart: int, jblocks: int) -> None:
+        self.journal = None  # type: ignore[assignment]
+        self.undo = UndoJournal(self.pm, jstart, jblocks)
+        self.undo.recover()
+
+    # -- metadata persistence: immediate, fine-grained, undo-logged -----------
+
+    def _journal_inode(self, inode: Inode) -> None:
+        self._provision_cont_blocks(inode)
+        blocks = serialize_inode(inode)
+        self.undo.apply_update(self._inode_addr(inode.ino), blocks[0])
+        for addr, content in zip(inode.cont_blocks, blocks[1:]):
+            self.undo.apply_update(addr * C.BLOCK_SIZE, content)
+
+    def _flush_quarantine(self) -> None:
+        pass  # not used: PMFS frees immediately (undo records can't clobber)
+
+    def _release_inode(self, ino: int) -> None:
+        super()._release_inode(ino)
+        # Undo journaling rolls back by generation, so stale records never
+        # clobber reused blocks: release the quarantine immediately.
+        if self._quarantine:
+            self.alloc.free(self._quarantine)
+            self._quarantine = []
+
+    def _journal_inode_free(self, ino: int) -> None:
+        self.undo.apply_update(self._inode_addr(ino), free_inode_block())
+
+    def _journal_dir_block(self, dir_ino: int, block_index: int) -> None:
+        inode = self.inodes[dir_ino]
+        phys = inode.extmap.lookup_block(block_index)
+        if phys is None:
+            raise AssertionError("directory block not allocated")
+        data = self.dirs[dir_ino].serialize_block(block_index)
+        self.undo.apply_update(phys * C.BLOCK_SIZE, data)
+
+    # -- synchronous data path ----------------------------------------------------
+
+    def _do_write(self, of: OpenFile, data: bytes, offset: int) -> int:
+        n = super()._do_write(of, data, offset)
+        # PMFS is synchronous: the data is durable before write() returns.
+        self.pm.sfence(category=Category.META_IO)
+        self.dirty_data.pop(of.ino, None)
+        return n
+
+    def fsync(self, fd: int) -> None:
+        # Nothing left to do: data and metadata are already durable.
+        self._trap()
+        self.fdt.get(fd)
+
+    def sync(self) -> None:
+        pass
+
+    def ioctl_relink(self, src_fd: int, src_off: int, dst_fd: int,
+                     dst_off: int, size: int) -> None:
+        raise InvalidArgumentFSError("relink is an ext4-DAX patch; PMFS lacks it")

@@ -1,0 +1,117 @@
+"""PMFS-style fine-grained undo journal.
+
+PMFS (EuroSys '14) journals metadata at cache-line granularity with *undo*
+records: before a metadata line is modified in place, its old contents are
+logged; a transaction that did not reach its done-marker is rolled back at
+recovery.  Compared to ext4's block journaling this writes far fewer bytes
+per operation — the reason PMFS sits between ext4 and NOVA in Table 1.
+
+Region layout (reusing the journal region of the shared layout)::
+
+    block 0    done-generation marker (64 B, persisted per transaction)
+    block 1..  undo records of the *current* transaction (2 lines each)
+
+Record: line 0 = header (magic, gen, target addr), line 1 = old contents.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from ..pmem import constants as C
+from ..pmem.device import PersistentMemory
+from ..pmem.timing import Category
+
+_REC_MAGIC = 0x504D4653  # "PMFS"
+_HDR_FMT = "<IIQ"  # magic, gen, target line addr
+_DONE_FMT = "<IQ"  # magic, done generation
+_DONE_MAGIC = 0x444F4E45  # "DONE"
+_REC_SIZE = 2 * C.CACHELINE_SIZE
+
+
+class UndoJournal:
+    """Per-operation undo journaling of metadata cache lines."""
+
+    def __init__(self, pm: PersistentMemory, start_block: int, nblocks: int) -> None:
+        self.pm = pm
+        self.start = start_block * C.BLOCK_SIZE
+        self.capacity = (nblocks - 1) * C.BLOCK_SIZE // _REC_SIZE
+        self.gen = 1
+
+    def format(self) -> None:
+        self.gen = 1
+        self._persist_done(0)
+
+    def _persist_done(self, gen: int) -> None:
+        raw = struct.pack(_DONE_FMT, _DONE_MAGIC, gen)
+        raw += b"\x00" * (C.CACHELINE_SIZE - len(raw))
+        self.pm.persist(self.start, raw, category=Category.META_IO)
+
+    # -- transaction --------------------------------------------------------
+
+    def apply_update(self, addr: int, new_content: bytes) -> int:
+        """Atomically update ``[addr, addr+len)`` in place.
+
+        Diffs the new content against the device image, undo-logs each
+        changed cache line, fences, applies the changed lines in place,
+        fences, and bumps the done marker.  Returns lines changed.
+        """
+        if addr % C.CACHELINE_SIZE:
+            raise ValueError("metadata updates must be line aligned")
+        old = self.pm.peek(addr, len(new_content))
+        changed: List[Tuple[int, bytes, bytes]] = []
+        for off in range(0, len(new_content), C.CACHELINE_SIZE):
+            old_line = old[off : off + C.CACHELINE_SIZE]
+            new_line = new_content[off : off + C.CACHELINE_SIZE]
+            if old_line != new_line:
+                changed.append((addr + off, old_line, new_line))
+        if not changed:
+            return 0
+        if len(changed) > self.capacity:
+            raise ValueError("transaction exceeds undo journal capacity")
+        # 1. undo records, then fence
+        rec_addr = self.start + C.BLOCK_SIZE
+        for line_addr, old_line, _ in changed:
+            hdr = struct.pack(_HDR_FMT, _REC_MAGIC, self.gen, line_addr)
+            hdr += b"\x00" * (C.CACHELINE_SIZE - len(hdr))
+            self.pm.store(rec_addr, hdr + old_line, category=Category.META_IO)
+            rec_addr += _REC_SIZE
+        self.pm.sfence(category=Category.META_IO)
+        # 2. in-place updates, then fence
+        for line_addr, _, new_line in changed:
+            self.pm.store(line_addr, new_line, category=Category.META_IO)
+        self.pm.sfence(category=Category.META_IO)
+        # 3. done marker (commit point: records no longer roll back)
+        self._persist_done(self.gen)
+        self.gen += 1
+        return len(changed)
+
+    # -- recovery ------------------------------------------------------------------
+
+    def recover(self) -> int:
+        """Roll back any transaction that did not reach its done marker.
+
+        Returns the number of lines rolled back.
+        """
+        raw = self.pm.load(self.start, struct.calcsize(_DONE_FMT),
+                           category=Category.META_IO)
+        magic, done_gen = struct.unpack(_DONE_FMT, raw)
+        if magic != _DONE_MAGIC:
+            raise ValueError("undo journal not formatted")
+        rolled = 0
+        rec_addr = self.start + C.BLOCK_SIZE
+        # Records of the interrupted transaction all carry gen done_gen + 1.
+        while True:
+            raw = self.pm.load(rec_addr, _REC_SIZE, category=Category.META_IO)
+            magic, gen, line_addr = struct.unpack_from(_HDR_FMT, raw)
+            if magic != _REC_MAGIC or gen != done_gen + 1:
+                break
+            self.pm.store(line_addr, raw[C.CACHELINE_SIZE:],
+                          category=Category.META_IO)
+            rolled += 1
+            rec_addr += _REC_SIZE
+        self.pm.sfence(category=Category.META_IO)
+        self.gen = done_gen + 1
+        self._persist_done(done_gen)  # re-arm at the same generation
+        return rolled

@@ -1,0 +1,36 @@
+"""POSIX-style API surface shared by every simulated file system."""
+
+from . import flags
+from .api import FileSystemAPI, Stat, parent_and_name, split_path
+from .errors import (
+    BadFileDescriptorError,
+    DirectoryNotEmptyFSError,
+    FileExistsFSError,
+    FileNotFoundFSError,
+    FSError,
+    InvalidArgumentFSError,
+    IsADirectoryFSError,
+    NameTooLongFSError,
+    NoSpaceFSError,
+    NotADirectoryFSError,
+    PermissionFSError,
+)
+
+__all__ = [
+    "flags",
+    "FileSystemAPI",
+    "Stat",
+    "split_path",
+    "parent_and_name",
+    "FSError",
+    "FileNotFoundFSError",
+    "FileExistsFSError",
+    "BadFileDescriptorError",
+    "IsADirectoryFSError",
+    "NotADirectoryFSError",
+    "DirectoryNotEmptyFSError",
+    "InvalidArgumentFSError",
+    "NoSpaceFSError",
+    "PermissionFSError",
+    "NameTooLongFSError",
+]

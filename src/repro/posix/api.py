@@ -1,0 +1,179 @@
+"""The POSIX-style interface every simulated file system implements.
+
+The original SplitFS intercepts 35 glibc entry points with ``LD_PRELOAD``.
+In this reproduction the equivalent boundary is :class:`FileSystemAPI`:
+applications are written against this interface, and whether a call is served
+in user space (U-Split) or traps into the simulated kernel is decided by the
+object behind it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List
+
+from . import flags as F
+from .errors import InvalidArgumentFSError
+
+
+@dataclass
+class Stat:
+    """Subset of ``struct stat`` the reproduction needs."""
+
+    st_ino: int
+    st_size: int
+    st_mode: int = 0o644
+    st_nlink: int = 1
+    st_blocks: int = 0
+    is_dir: bool = False
+
+
+def split_path(path: str) -> List[str]:
+    """Normalize an absolute path into components.
+
+    Raises for relative paths — the simulated processes have no CWD.
+    """
+    if not path.startswith("/"):
+        raise InvalidArgumentFSError(f"path must be absolute: {path!r}")
+    return [c for c in path.split("/") if c not in ("", ".")]
+
+
+def parent_and_name(path: str) -> "tuple[List[str], str]":
+    comps = split_path(path)
+    if not comps:
+        raise InvalidArgumentFSError("operation on root directory")
+    return comps[:-1], comps[-1]
+
+
+class FileSystemAPI(abc.ABC):
+    """POSIX file operations over the simulated stack.
+
+    Sequential ``read``/``write`` use the per-open-file offset, like the
+    kernel's struct file; ``pread``/``pwrite`` are positional.  All paths are
+    absolute.  Errors are :class:`~repro.posix.errors.FSError` subclasses.
+    """
+
+    # -- file lifecycle -----------------------------------------------------
+
+    @abc.abstractmethod
+    def open(self, path: str, flags: int = F.O_RDWR, mode: int = 0o644) -> int:
+        """Open (and possibly create) a file; returns a file descriptor."""
+
+    @abc.abstractmethod
+    def close(self, fd: int) -> None:
+        """Close a file descriptor."""
+
+    @abc.abstractmethod
+    def unlink(self, path: str) -> None:
+        """Remove a file."""
+
+    @abc.abstractmethod
+    def rename(self, old: str, new: str) -> None:
+        """Atomically rename ``old`` to ``new`` (replacing ``new``)."""
+
+    # -- data ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def read(self, fd: int, count: int) -> bytes:
+        """Read up to ``count`` bytes at the current offset."""
+
+    @abc.abstractmethod
+    def write(self, fd: int, data: bytes) -> int:
+        """Write at the current offset (or EOF with ``O_APPEND``)."""
+
+    @abc.abstractmethod
+    def pread(self, fd: int, count: int, offset: int) -> bytes:
+        """Positional read; does not move the file offset."""
+
+    @abc.abstractmethod
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        """Positional write; does not move the file offset."""
+
+    @abc.abstractmethod
+    def lseek(self, fd: int, offset: int, whence: int = F.SEEK_SET) -> int:
+        """Reposition the file offset; returns the new offset."""
+
+    @abc.abstractmethod
+    def fsync(self, fd: int) -> None:
+        """Make all completed operations on the file durable."""
+
+    @abc.abstractmethod
+    def ftruncate(self, fd: int, length: int) -> None:
+        """Set the file size to ``length``."""
+
+    # -- metadata --------------------------------------------------------------
+
+    @abc.abstractmethod
+    def stat(self, path: str) -> Stat:
+        """Stat by path."""
+
+    @abc.abstractmethod
+    def fstat(self, fd: int) -> Stat:
+        """Stat by descriptor."""
+
+    @abc.abstractmethod
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        """Create a directory."""
+
+    @abc.abstractmethod
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+
+    @abc.abstractmethod
+    def listdir(self, path: str) -> List[str]:
+        """List directory entry names."""
+
+    # -- vectored IO and fdatasync (default compositions) -----------------------
+
+    def readv(self, fd: int, sizes: List[int]) -> List[bytes]:
+        """Scatter read: fill one buffer per requested size, in order."""
+        out = []
+        for size in sizes:
+            chunk = self.read(fd, size)
+            out.append(chunk)
+            if len(chunk) < size:
+                break
+        return out
+
+    def writev(self, fd: int, buffers: List[bytes]) -> int:
+        """Gather write: write each buffer at the current offset, in order."""
+        return self.write(fd, b"".join(buffers))
+
+    def fdatasync(self, fd: int) -> None:
+        """Like fsync; the simulated stack does not track times separately."""
+        self.fsync(fd)
+
+    # -- conveniences (implemented on the abstract surface) ---------------------
+
+    def exists(self, path: str) -> bool:
+        from .errors import FileNotFoundFSError
+
+        try:
+            self.stat(path)
+            return True
+        except FileNotFoundFSError:
+            return False
+
+    def read_file(self, path: str) -> bytes:
+        """Read a whole file (helper for tests and utilities)."""
+        fd = self.open(path, F.O_RDONLY)
+        try:
+            chunks = []
+            while True:
+                chunk = self.read(fd, 1 << 20)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            return b"".join(chunks)
+        finally:
+            self.close(fd)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Create/replace a file with ``data`` and fsync it."""
+        fd = self.open(path, F.O_CREAT | F.O_RDWR | F.O_TRUNC)
+        try:
+            self.write(fd, data)
+            self.fsync(fd)
+        finally:
+            self.close(fd)

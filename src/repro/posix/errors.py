@@ -1,0 +1,49 @@
+"""Errno-style exceptions raised by the simulated file systems."""
+
+from __future__ import annotations
+
+
+class FSError(Exception):
+    """Base class for all file-system errors."""
+
+    errno_name = "EIO"
+
+
+class FileNotFoundFSError(FSError):
+    errno_name = "ENOENT"
+
+
+class FileExistsFSError(FSError):
+    errno_name = "EEXIST"
+
+
+class BadFileDescriptorError(FSError):
+    errno_name = "EBADF"
+
+
+class IsADirectoryFSError(FSError):
+    errno_name = "EISDIR"
+
+
+class NotADirectoryFSError(FSError):
+    errno_name = "ENOTDIR"
+
+
+class DirectoryNotEmptyFSError(FSError):
+    errno_name = "ENOTEMPTY"
+
+
+class InvalidArgumentFSError(FSError):
+    errno_name = "EINVAL"
+
+
+class NoSpaceFSError(FSError):
+    errno_name = "ENOSPC"
+
+
+class PermissionFSError(FSError):
+    errno_name = "EACCES"
+
+
+class NameTooLongFSError(FSError):
+    errno_name = "ENAMETOOLONG"

@@ -1,0 +1,25 @@
+"""POSIX open(2) flags and whence constants for the simulated stack."""
+
+from __future__ import annotations
+
+O_RDONLY = 0x0000
+O_WRONLY = 0x0001
+O_RDWR = 0x0002
+O_ACCMODE = 0x0003
+
+O_CREAT = 0x0040
+O_EXCL = 0x0080
+O_TRUNC = 0x0200
+O_APPEND = 0x0400
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+def readable(flags: int) -> bool:
+    return (flags & O_ACCMODE) in (O_RDONLY, O_RDWR)
+
+
+def writable(flags: int) -> bool:
+    return (flags & O_ACCMODE) in (O_WRONLY, O_RDWR)

@@ -1,0 +1,6 @@
+"""Simulated Strata (private log + digest; strict-mode baseline)."""
+
+from . import log
+from .filesystem import ROOT_INO, StrataConfig, StrataFS
+
+__all__ = ["StrataFS", "StrataConfig", "ROOT_INO", "log"]

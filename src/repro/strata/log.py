@@ -1,0 +1,87 @@
+"""Strata private-log record format.
+
+Every operation a process performs lands as one record in its private PM
+log: a 64-byte header followed by the payload (for writes), rounded up to
+cache lines.  The header carries a CRC over itself and the payload so that
+recovery can detect the torn record at the end of the log after a crash.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..pmem import constants as C
+
+_MAGIC = 0x5354  # "ST"
+_HDR_FMT = "<HBBIIQII"  # magic, type, name_len, ino, parent, offset, size, crc
+_HDR_SIZE = struct.calcsize(_HDR_FMT)
+
+T_WRITE = 1
+T_CREATE = 2
+T_UNLINK = 3
+T_MKDIR = 4
+T_LINK = 5
+T_TRUNCATE = 6
+
+MAX_STRATA_NAME = C.CACHELINE_SIZE - _HDR_SIZE
+
+
+@dataclass(frozen=True)
+class Record:
+    rtype: int
+    ino: int = 0
+    parent: int = 0
+    offset: int = 0
+    size: int = 0
+    name: str = ""
+
+
+def _crc(header_wo_crc: bytes, payload: bytes) -> int:
+    return zlib.crc32(header_wo_crc + payload) & 0xFFFFFFFF
+
+
+def encode(record: Record, payload: bytes = b"") -> bytes:
+    """Header (64 B, name inline) + payload padded to cache lines."""
+    name = record.name.encode()
+    if len(name) > MAX_STRATA_NAME:
+        raise ValueError(f"strata name too long: {record.name!r}")
+    base = struct.pack(
+        "<HBBIIQI", _MAGIC, record.rtype, len(name), record.ino,
+        record.parent, record.offset, record.size,
+    )
+    crc = _crc(base + name, payload)
+    hdr = base + struct.pack("<I", crc) + name
+    hdr += b"\x00" * (C.CACHELINE_SIZE - len(hdr))
+    if payload:
+        pad = (-len(payload)) % C.CACHELINE_SIZE
+        payload = payload + b"\x00" * pad
+    return hdr + payload
+
+
+def decode_header(raw: bytes) -> Optional[Tuple[Record, int]]:
+    """Parse a 64 B header; returns (record, padded_payload_len) or None."""
+    magic, rtype, name_len, ino, parent, offset, size, crc = struct.unpack_from(
+        _HDR_FMT, raw
+    )
+    if magic != _MAGIC or rtype not in (
+        T_WRITE, T_CREATE, T_UNLINK, T_MKDIR, T_LINK, T_TRUNCATE,
+    ):
+        return None
+    name = raw[_HDR_SIZE : _HDR_SIZE + name_len].decode(errors="replace")
+    rec = Record(rtype, ino, parent, offset, size, name)
+    payload_len = 0
+    if rtype == T_WRITE:
+        payload_len = size + ((-size) % C.CACHELINE_SIZE)
+    return rec, payload_len
+
+
+def verify(raw_header: bytes, payload: bytes) -> bool:
+    """Check the CRC of a decoded record against its payload."""
+    base = raw_header[: _HDR_SIZE - 4]
+    (crc,) = struct.unpack_from("<I", raw_header, _HDR_SIZE - 4)
+    name_len = raw_header[3]
+    name = raw_header[_HDR_SIZE : _HDR_SIZE + name_len]
+    return _crc(base + name, payload) == crc

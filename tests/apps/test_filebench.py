@@ -1,0 +1,77 @@
+"""Tests for the Filebench personalities."""
+
+import pytest
+
+from repro import make_filesystem
+from repro.apps.filebench import (
+    FilebenchConfig,
+    Varmail,
+    run_personality,
+)
+
+PM = 128 * 1024 * 1024
+
+
+@pytest.fixture
+def fs():
+    return make_filesystem("splitfs-posix", pm_size=PM)[1]
+
+
+class TestVarmail:
+    def test_runs_and_counts(self, fs):
+        result = run_personality(fs, "varmail",
+                                 FilebenchConfig(operations=120, nfiles=20))
+        assert result.operations == 120
+        assert result.creates > 0
+        assert result.fsyncs >= result.creates
+        assert result.whole_reads > 0
+        assert result.deletes > 0
+
+    def test_working_set_stays_bounded(self, fs):
+        cfg = FilebenchConfig(operations=200, nfiles=10)
+        bench = Varmail(fs, "/vm", cfg)
+        bench.run()
+        # Deletes keep the set from growing without bound.
+        assert len(bench.files) < cfg.nfiles + cfg.operations
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            _, fs = make_filesystem("ext4dax", pm_size=PM)
+            r = run_personality(fs, "varmail",
+                                FilebenchConfig(operations=80, seed=3))
+            results.append((r.creates, r.appends, r.whole_reads, r.deletes))
+        assert results[0] == results[1]
+
+
+class TestFileserver:
+    def test_mix(self, fs):
+        result = run_personality(fs, "fileserver",
+                                 FilebenchConfig(operations=150, nfiles=15))
+        assert result.whole_writes > 0
+        assert result.appends > 0
+        assert result.whole_reads > 0
+        assert result.stats > 0
+
+
+class TestWebserver:
+    def test_read_dominated(self, fs):
+        result = run_personality(fs, "webserver",
+                                 FilebenchConfig(operations=30, nfiles=15))
+        assert result.whole_reads == 30 * 10
+        assert result.log_appends == 30
+        assert fs.stat("/fbench/access.log").st_size == 30 * 256
+
+
+class TestGeneric:
+    def test_unknown_personality(self, fs):
+        with pytest.raises(ValueError):
+            run_personality(fs, "mailbench")
+
+    @pytest.mark.parametrize("system", ["ext4dax", "nova-strict", "pmfs",
+                                        "strata", "splitfs-strict"])
+    def test_varmail_on_every_system(self, system):
+        _, fs = make_filesystem(system, pm_size=PM)
+        result = run_personality(fs, "varmail",
+                                 FilebenchConfig(operations=60, nfiles=10))
+        assert result.operations == 60

@@ -1,0 +1,164 @@
+"""Tests for the LevelDB model (memtable, WAL, SSTables, compaction)."""
+
+import pytest
+
+from repro import make_filesystem
+from repro.apps.leveldb import LevelDB, LevelDBConfig, MemTable
+from repro.apps.leveldb.sstable import SSTable, write_sstable
+from repro.apps.leveldb.wal import OP_DELETE, OP_PUT, WriteAheadLog, decode_records, encode_record
+
+PM = 128 * 1024 * 1024
+
+
+@pytest.fixture
+def fs():
+    return make_filesystem("ext4dax", pm_size=PM)[1]
+
+
+@pytest.fixture
+def db(fs):
+    return LevelDB(fs, config=LevelDBConfig(memtable_bytes=16 * 1024))
+
+
+class TestMemTable:
+    def test_put_get(self):
+        mt = MemTable()
+        mt.put(b"k", b"v")
+        assert mt.get(b"k") == (True, b"v")
+        assert mt.get(b"missing") == (False, None)
+
+    def test_tombstone(self):
+        mt = MemTable()
+        mt.put(b"k", b"v")
+        mt.delete(b"k")
+        assert mt.get(b"k") == (True, None)
+
+    def test_sorted_iteration(self):
+        mt = MemTable()
+        for k in (b"c", b"a", b"b"):
+            mt.put(k, k)
+        assert [k for k, _ in mt.items_sorted()] == [b"a", b"b", b"c"]
+
+    def test_size_accounting(self):
+        mt = MemTable()
+        mt.put(b"k", b"v" * 100)
+        size1 = mt.approximate_bytes
+        mt.put(b"k", b"v" * 10)  # replace: smaller
+        assert mt.approximate_bytes < size1
+
+
+class TestWAL:
+    def test_record_round_trip(self):
+        raw = encode_record(OP_PUT, b"key", b"value")
+        raw += encode_record(OP_DELETE, b"dead", b"")
+        recs = list(decode_records(raw))
+        assert recs == [(OP_PUT, b"key", b"value"), (OP_DELETE, b"dead", b"")]
+
+    def test_torn_tail_ignored(self):
+        raw = encode_record(OP_PUT, b"k", b"v") + b"\x99" * 7
+        assert list(decode_records(raw)) == [(OP_PUT, b"k", b"v")]
+
+    def test_replay_from_fs(self, fs):
+        wal = WriteAheadLog(fs, "/wal", sync_writes=True)
+        wal.append(OP_PUT, b"a", b"1")
+        wal.append(OP_PUT, b"b", b"2")
+        recs = list(WriteAheadLog.replay(fs, "/wal"))
+        assert len(recs) == 2
+
+
+class TestSSTable:
+    def test_write_and_get(self, fs):
+        items = [(b"k%03d" % i, b"val%d" % i) for i in range(50)]
+        table = write_sstable(fs, "/sst1", iter(items))
+        assert table.get(b"k025") == (True, b"val25")
+        assert table.get(b"nope") == (False, None)
+        assert table.smallest == b"k000"
+        assert table.largest == b"k049"
+
+    def test_tombstones_round_trip(self, fs):
+        table = write_sstable(fs, "/sst2", iter([(b"a", b"1"), (b"b", None)]))
+        assert table.get(b"b") == (True, None)
+
+    def test_reopen_from_disk(self, fs):
+        items = [(b"k%03d" % i, b"v" * i) for i in range(20)]
+        write_sstable(fs, "/sst3", iter(items)).close()
+        table = SSTable(fs, "/sst3")
+        assert table.get(b"k010") == (True, b"v" * 10)
+
+    def test_scan_from(self, fs):
+        items = [(b"k%03d" % i, b"x") for i in range(30)]
+        table = write_sstable(fs, "/sst4", iter(items))
+        got = [k for k, _ in table.scan_from(b"k025")]
+        assert got == [b"k%03d" % i for i in range(25, 30)]
+
+
+class TestLevelDB:
+    def test_put_get_delete(self, db):
+        db.put(b"alpha", b"1")
+        assert db.get(b"alpha") == b"1"
+        db.delete(b"alpha")
+        assert db.get(b"alpha") is None
+
+    def test_flush_and_read_from_sstable(self, db):
+        for i in range(200):
+            db.put(b"key%04d" % i, b"v" * 100)
+        assert db.stats_flushes > 0
+        assert db.get(b"key0000") == b"v" * 100
+        assert db.get(b"key0199") == b"v" * 100
+
+    def test_update_overrides_older_levels(self, db):
+        db.put(b"k", b"old")
+        db.flush_memtable()
+        db.put(b"k", b"new")
+        assert db.get(b"k") == b"new"
+        db.flush_memtable()
+        assert db.get(b"k") == b"new"
+
+    def test_delete_shadows_sstable_value(self, db):
+        db.put(b"gone", b"present")
+        db.flush_memtable()
+        db.delete(b"gone")
+        assert db.get(b"gone") is None
+        db.flush_memtable()
+        assert db.get(b"gone") is None
+
+    def test_compaction_preserves_data(self, db):
+        for i in range(600):
+            gen = i // 150
+            db.put(b"key%05d" % (i % 150), b"gen%d:" % gen + b"p" * 200)
+        assert db.stats_compactions > 0
+        for i in range(150):
+            value = db.get(b"key%05d" % i)
+            assert value is not None and value.startswith(b"gen3:")
+
+    def test_scan_merges_levels(self, db):
+        db.put(b"a", b"1")
+        db.flush_memtable()
+        db.put(b"b", b"2")
+        out = db.scan(b"a", 10)
+        assert out == [(b"a", b"1"), (b"b", b"2")]
+
+    def test_scan_respects_count(self, db):
+        for i in range(50):
+            db.put(b"s%03d" % i, b"x")
+        assert len(db.scan(b"s000", 7)) == 7
+
+    def test_close_flushes(self, fs):
+        db = LevelDB(fs, home="/db2")
+        db.put(b"durable", b"yes")
+        db.close()
+        assert any(n.startswith("sst-") for n in fs.listdir("/db2"))
+
+
+class TestLevelDBOnSplitFS:
+    def test_runs_on_every_system(self):
+        from repro import SYSTEM_NAMES
+
+        for name in SYSTEM_NAMES:
+            _, fs = make_filesystem(name, pm_size=PM)
+            db = LevelDB(fs, config=LevelDBConfig(memtable_bytes=8 * 1024))
+            for i in range(60):
+                db.put(b"k%03d" % i, b"payload-%d" % i)
+            for i in (0, 30, 59):
+                assert db.get(b"k%03d" % i) == b"payload-%d" % i, name
+            db.close()

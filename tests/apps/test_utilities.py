@@ -1,0 +1,89 @@
+"""Tests for the git/tar/rsync workload models."""
+
+import pytest
+
+from repro import make_filesystem
+from repro.apps import utilities
+
+PM = 128 * 1024 * 1024
+
+
+@pytest.fixture
+def fs():
+    return make_filesystem("ext4dax", pm_size=PM)[1]
+
+
+@pytest.fixture
+def tree(fs):
+    return utilities.make_source_tree(fs, nfiles=24, file_size=2048)
+
+
+class TestSourceTree:
+    def test_creates_requested_files(self, fs, tree):
+        assert len(tree) == 24
+        for path in tree:
+            assert fs.stat(path).st_size == 2048
+
+    def test_spread_over_directories(self, fs, tree):
+        assert len(fs.listdir("/src")) >= 2
+
+
+class TestGit:
+    def test_objects_created(self, fs, tree):
+        stats = utilities.git_add_commit(fs, tree)
+        assert stats.files_processed == 24
+        assert fs.exists("/.gitrepo/index")
+        assert fs.exists("/.gitrepo/refs/main")
+        fans = fs.listdir("/.gitrepo/objects")
+        assert fans
+        objects = [
+            o for fan in fans for o in fs.listdir(f"/.gitrepo/objects/{fan}")
+        ]
+        assert not any(o.startswith("tmp_") for o in objects)
+
+    def test_objects_are_compressed(self, fs, tree):
+        utilities.git_add_commit(fs, tree)
+        fans = fs.listdir("/.gitrepo/objects")
+        some_obj = fs.listdir(f"/.gitrepo/objects/{fans[0]}")[0]
+        size = fs.stat(f"/.gitrepo/objects/{fans[0]}/{some_obj}").st_size
+        assert 0 < size  # zlib level 1 of random data may not shrink, but exists
+
+
+class TestTar:
+    def test_archive_contains_all_data(self, fs, tree):
+        stats = utilities.tar_create(fs, tree)
+        assert stats.files_processed == 24
+        expected_min = 24 * (512 + 2048)
+        assert fs.stat("/archive.tar").st_size >= expected_min
+
+    def test_512_alignment(self, fs, tree):
+        utilities.tar_create(fs, tree)
+        assert fs.stat("/archive.tar").st_size % 512 == 0
+
+
+class TestRsync:
+    def test_full_copy(self, fs, tree):
+        stats = utilities.rsync_copy(fs, tree)
+        assert stats.files_processed == 24
+        for path in tree:
+            dst = "/dst" + path[len("/src"):]
+            assert fs.read_file(dst) == fs.read_file(path)
+
+    def test_no_temp_files_left(self, fs, tree):
+        utilities.rsync_copy(fs, tree)
+        for d in fs.listdir("/dst"):
+            for name in fs.listdir(f"/dst/{d}"):
+                assert not name.startswith(".")
+
+
+class TestOnAllSystems:
+    @pytest.mark.parametrize("system", ["splitfs-posix", "splitfs-strict",
+                                        "nova-strict", "pmfs", "strata"])
+    def test_utilities_run_everywhere(self, system):
+        _, fs = make_filesystem(system, pm_size=PM)
+        tree = utilities.make_source_tree(fs, nfiles=12, file_size=1024)
+        utilities.git_add_commit(fs, tree)
+        utilities.tar_create(fs, tree)
+        utilities.rsync_copy(fs, tree)
+        dst = "/dst" + tree[0][len("/src"):]
+        assert fs.read_file(dst) == fs.read_file(tree[0])

@@ -1,0 +1,155 @@
+"""Tests for the YCSB and TPC-C workload generators."""
+
+import random
+
+import pytest
+
+from repro import make_filesystem
+from repro.apps import ycsb
+from repro.apps.sqlite import SQLiteWAL
+from repro.apps.tpcc import TPCC, TPCCConfig
+from repro.apps.ycsb import (
+    LatestGenerator,
+    ScrambledZipfian,
+    YCSBConfig,
+    ZipfianGenerator,
+    key_of,
+)
+
+PM = 128 * 1024 * 1024
+
+
+class TestZipfian:
+    def test_values_in_range(self):
+        z = ZipfianGenerator(1000, rng=random.Random(1))
+        for _ in range(2000):
+            assert 0 <= z.next() < 1000
+
+    def test_skew_favours_popular_items(self):
+        z = ZipfianGenerator(1000, rng=random.Random(2))
+        samples = [z.next() for _ in range(5000)]
+        top10 = sum(1 for s in samples if s < 10)
+        # A uniform distribution would put ~1% in the top 10 ranks;
+        # zipfian(0.99) puts far more.
+        assert top10 / len(samples) > 0.15
+
+    def test_deterministic_with_seed(self):
+        a = [ZipfianGenerator(100, rng=random.Random(7)).next() for _ in range(5)]
+        b = [ZipfianGenerator(100, rng=random.Random(7)).next() for _ in range(5)]
+        assert a == b
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+
+    def test_scrambled_spreads_hot_keys(self):
+        s = ScrambledZipfian(1000, rng=random.Random(3))
+        samples = {s.next() for _ in range(200)}
+        assert len(samples) > 20  # not collapsed onto a tiny prefix
+
+    def test_latest_favours_recent(self):
+        g = LatestGenerator(1000, rng=random.Random(4))
+        samples = [g.next() for _ in range(2000)]
+        recent = sum(1 for s in samples if s >= 900)
+        assert recent / len(samples) > 0.3
+
+
+class TestYCSBDriver:
+    class DictKV:
+        def __init__(self):
+            self.d = {}
+            self.scans = 0
+
+        def put(self, k, v):
+            self.d[k] = v
+
+        def get(self, k):
+            return self.d.get(k)
+
+        def scan(self, start, count):
+            self.scans += 1
+            keys = sorted(k for k in self.d if k >= start)[:count]
+            return [(k, self.d[k]) for k in keys]
+
+    def test_load_inserts_record_count(self):
+        db = self.DictKV()
+        cfg = YCSBConfig(record_count=123, operation_count=0)
+        ycsb.load(db, cfg)
+        assert len(db.d) == 123
+        assert key_of(0) in db.d
+
+    @pytest.mark.parametrize("wl,field,expected", [
+        ("A", "updates", 0.5), ("B", "reads", 0.95), ("C", "reads", 1.0),
+        ("D", "inserts", 0.05), ("E", "scans", 0.95), ("F", "rmws", 0.5),
+    ])
+    def test_mix_fractions(self, wl, field, expected):
+        db = self.DictKV()
+        cfg = YCSBConfig(record_count=200, operation_count=2000)
+        ycsb.load(db, cfg)
+        result = ycsb.run(db, wl, cfg)
+        frac = getattr(result, field) / result.operations
+        assert abs(frac - expected) < 0.05, (wl, field, frac)
+
+    def test_no_not_found_on_loaded_keys(self):
+        db = self.DictKV()
+        cfg = YCSBConfig(record_count=300, operation_count=1000)
+        ycsb.load(db, cfg)
+        result = ycsb.run(db, "C", cfg)
+        assert result.not_found == 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            ycsb.run(self.DictKV(), "Z", YCSBConfig())
+
+    def test_workload_d_inserts_then_reads_new_keys(self):
+        db = self.DictKV()
+        cfg = YCSBConfig(record_count=100, operation_count=500)
+        ycsb.load(db, cfg)
+        result = ycsb.run(db, "D", cfg)
+        assert result.inserts > 0
+        assert len(db.d) == 100 + result.inserts
+
+
+class TestTPCC:
+    @pytest.fixture
+    def bench(self):
+        _, fs = make_filesystem("ext4dax", pm_size=PM)
+        db = SQLiteWAL(fs)
+        bench = TPCC(db, TPCCConfig(transactions=60, seed=5))
+        bench.load()
+        return bench
+
+    def test_load_populates_schema(self, bench):
+        assert bench.db.get(b"WH:0") is not None
+        assert bench.db.get(b"DIS:0:5") is not None
+        assert bench.db.get(b"CUS:0:3:10") is not None
+        assert bench.db.get(b"ITM:50") is not None
+        assert bench.db.get(b"STK:0:99") is not None
+
+    def test_mix_roughly_matches_spec(self, bench):
+        result = bench.run()
+        assert result.total == 60
+        assert result.new_orders > result.order_statuses
+        assert result.payments > result.deliveries
+
+    def test_new_order_creates_rows(self, bench):
+        bench.new_order()
+        district_key = list(bench._undelivered)
+        orders = [k for k in bench.db.directory if k.startswith(b"ORD:")]
+        assert orders
+
+    def test_delivery_consumes_new_orders(self, bench):
+        for _ in range(12):
+            bench.new_order()
+        pending_before = sum(len(q) for q in bench._undelivered.values())
+        bench.delivery()
+        pending_after = sum(len(q) for q in bench._undelivered.values())
+        assert pending_after < pending_before
+
+    def test_runs_on_splitfs(self):
+        _, fs = make_filesystem("splitfs-strict", pm_size=PM)
+        db = SQLiteWAL(fs)
+        bench = TPCC(db, TPCCConfig(transactions=30))
+        bench.load()
+        result = bench.run()
+        assert result.total == 30

@@ -1,0 +1,74 @@
+"""Calibration anchors (referenced from DESIGN.md Section 4).
+
+The cost model's free constants were tuned once against the paper's
+Table 1 and Table 2 anchors and then frozen.  These tests pin them so an
+accidental constant change that silently breaks the reproduction fails CI.
+"""
+
+import pytest
+
+from repro.bench import append_4k_workload, syscall_latency_workload
+from repro.pmem import constants as C
+
+TABLE1_PAPER = {
+    "ext4dax": 9002,
+    "pmfs": 4150,
+    "nova-strict": 3021,
+    "splitfs-strict": 1251,
+    "splitfs-posix": 1160,
+}
+
+
+class TestDeviceAnchors:
+    def test_pm_write_4k_is_671ns(self):
+        assert 4096 * C.PM_WRITE_NS_PER_BYTE == pytest.approx(671, rel=0.001)
+
+    def test_store_flush_fence_is_91ns(self):
+        assert C.PM_STORE_FLUSH_FENCE_NS == 91.0
+
+    def test_read_latencies(self):
+        assert C.PM_SEQ_READ_LATENCY_NS == 169.0
+        assert C.PM_RAND_READ_LATENCY_NS == 305.0
+
+    def test_read_bandwidth(self):
+        assert C.PM_READ_BW_BYTES_PER_NS == pytest.approx(39.4)
+
+
+class TestTable1Anchors:
+    @pytest.mark.parametrize("system,paper_ns", sorted(TABLE1_PAPER.items()))
+    def test_append_latency_within_15_percent(self, system, paper_ns):
+        m = append_4k_workload(system, total_bytes=2 * 1024 * 1024)
+        assert m.ns_per_op == pytest.approx(paper_ns, rel=0.15), (
+            f"{system}: measured {m.ns_per_op:.0f} ns vs paper {paper_ns} ns"
+        )
+
+    def test_overhead_ordering(self):
+        t = {
+            s: append_4k_workload(s, total_bytes=2 * 1024 * 1024).ns_per_op
+            for s in TABLE1_PAPER
+        }
+        assert (t["splitfs-posix"] < t["splitfs-strict"] < t["nova-strict"]
+                < t["pmfs"] < t["ext4dax"])
+
+
+class TestTable6Orderings:
+    @pytest.fixture(scope="class")
+    def lat(self):
+        return {
+            s: syscall_latency_workload(s, iterations=15)
+            for s in ("splitfs-strict", "splitfs-posix", "ext4dax")
+        }
+
+    def test_data_ops_faster_on_splitfs(self, lat):
+        assert lat["splitfs-posix"]["append"] < lat["ext4dax"]["append"] / 2
+        assert lat["splitfs-posix"]["fsync"] < lat["ext4dax"]["fsync"] / 2
+        assert lat["splitfs-posix"]["read"] < lat["ext4dax"]["read"]
+
+    def test_metadata_ops_slower_on_splitfs(self, lat):
+        assert lat["splitfs-posix"]["open"] > lat["ext4dax"]["open"]
+        assert lat["splitfs-posix"]["close"] > lat["ext4dax"]["close"]
+        assert lat["splitfs-posix"]["unlink"] > lat["ext4dax"]["unlink"]
+
+    def test_stronger_modes_cost_weakly_more(self, lat):
+        assert (lat["splitfs-strict"]["append"]
+                >= lat["splitfs-posix"]["append"] * 0.99)

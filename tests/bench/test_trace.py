@@ -1,0 +1,103 @@
+"""Trace record/replay tests."""
+
+import pytest
+
+from repro import make_filesystem
+from repro.bench.trace import TraceRecorder, _decode_payload, _encode_payload, replay
+from repro.posix import flags as F
+from repro.posix.errors import FileNotFoundFSError
+
+PM = 96 * 1024 * 1024
+
+
+class TestPayloadCodec:
+    def test_fill_compression(self):
+        data = b"\xab" * 5000
+        text = _encode_payload(data)
+        assert text.startswith("fill:")
+        assert len(text) < 20
+        assert _decode_payload(text) == data
+
+    def test_hex_fallback(self):
+        data = bytes(range(64))
+        assert _decode_payload(_encode_payload(data)) == data
+
+    def test_empty(self):
+        assert _decode_payload(_encode_payload(b"")) == b""
+
+    def test_bad_payload(self):
+        with pytest.raises(ValueError):
+            _decode_payload("nope:123")
+
+
+class TestRecordReplay:
+    def workload(self, fs):
+        fs.mkdir("/w")
+        fd = fs.open("/w/a", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"\x01" * 5000)
+        fs.pwrite(fd, b"patch", 100)
+        fs.fsync(fd)
+        fs.lseek(fd, 0, F.SEEK_SET)
+        fs.read(fd, 64)
+        fs.ftruncate(fd, 3000)
+        fs.close(fd)
+        fs.rename("/w/a", "/w/b")
+        fs.write_file("/w/c", b"deleteme")
+        fs.unlink("/w/c")
+        fs.listdir("/w")
+        fs.stat("/w/b")
+
+    def final_state(self, fs):
+        return {p: fs.read_file(f"/w/{p}") for p in fs.listdir("/w")}
+
+    def test_replay_reproduces_state_across_systems(self):
+        _, src = make_filesystem("ext4dax", pm_size=PM)
+        rec = TraceRecorder(src)
+        self.workload(rec)
+        trace = rec.dump()
+        expected = self.final_state(src)
+
+        for system in ("splitfs-strict", "nova-strict", "pmfs", "strata"):
+            _, dst = make_filesystem(system, pm_size=PM)
+            ops = replay(dst, trace)
+            assert ops > 10
+            assert self.final_state(dst) == expected, system
+
+    def test_recorder_is_transparent(self):
+        _, plain = make_filesystem("ext4dax", pm_size=PM)
+        _, wrapped_inner = make_filesystem("ext4dax", pm_size=PM)
+        wrapped = TraceRecorder(wrapped_inner)
+        self.workload(plain)
+        self.workload(wrapped)
+        assert self.final_state(plain) == self.final_state(wrapped)
+
+    def test_strict_replay_raises_on_error(self):
+        _, dst = make_filesystem("ext4dax", pm_size=PM)
+        with pytest.raises(FileNotFoundFSError):
+            replay(dst, "unlink\t/missing\n")
+
+    def test_lenient_replay_skips_errors(self):
+        _, dst = make_filesystem("ext4dax", pm_size=PM)
+        trace = "unlink\t/missing\nmkdir\t/ok\n"
+        assert replay(dst, trace, strict=False) == 1
+        assert dst.exists("/ok")
+
+    def test_unknown_op_rejected(self):
+        _, dst = make_filesystem("ext4dax", pm_size=PM)
+        with pytest.raises(ValueError):
+            replay(dst, "frobnicate\t/x\n")
+
+    def test_fd_tokens_are_stable(self):
+        """Two systems with different fd numbering replay the same trace."""
+        _, src = make_filesystem("splitfs-posix", pm_size=PM)  # fds ~1000+
+        rec = TraceRecorder(src)
+        fd1 = rec.open("/x", F.O_CREAT | F.O_RDWR)
+        fd2 = rec.open("/y", F.O_CREAT | F.O_RDWR)
+        rec.write(fd1, b"one")
+        rec.write(fd2, b"two")
+        rec.close(fd1)
+        rec.close(fd2)
+        _, dst = make_filesystem("ext4dax", pm_size=PM)  # fds ~3+
+        replay(dst, rec.dump())
+        assert dst.read_file("/x") == b"one"
+        assert dst.read_file("/y") == b"two"

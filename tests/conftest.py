@@ -1,0 +1,29 @@
+"""Shared fixtures: machines and freshly formatted file systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SYSTEM_NAMES, Machine, make_filesystem
+
+SMALL_PM = 96 * 1024 * 1024
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(SMALL_PM)
+
+
+@pytest.fixture(params=SYSTEM_NAMES)
+def any_fs(request):
+    """A freshly formatted instance of every evaluated file system."""
+    machine, fs = make_filesystem(request.param, pm_size=SMALL_PM)
+    fs.system_name = request.param  # annotate for tests that need it
+    return fs
+
+
+@pytest.fixture(params=["splitfs-posix", "splitfs-sync", "splitfs-strict"])
+def splitfs(request):
+    machine, fs = make_filesystem(request.param, pm_size=SMALL_PM)
+    fs.system_name = request.param
+    return fs

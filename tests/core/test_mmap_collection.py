@@ -1,0 +1,111 @@
+"""Unit tests for the collection-of-mmaps cache."""
+
+import pytest
+
+from repro.core.mmap_collection import MmapCollection
+from repro.ext4.extents import ExtentMap, FileExtent
+from repro.kernel.vm import VirtualMemory
+from repro.pmem import constants as C
+from repro.pmem.timing import SimClock
+
+
+@pytest.fixture
+def vm():
+    return VirtualMemory(SimClock())
+
+
+@pytest.fixture
+def coll(vm):
+    return MmapCollection(vm)
+
+
+HB = C.BLOCKS_PER_HUGE_PAGE
+
+
+def contiguous_map(nblocks=HB, phys=HB):
+    return ExtentMap([FileExtent(0, phys, nblocks)])
+
+
+class TestEnsure:
+    def test_first_touch_maps_and_charges(self, vm, coll):
+        before = vm.clock.now_ns
+        coll.ensure(5, 0, 4096, contiguous_map())
+        assert vm.clock.now_ns > before
+        assert coll.stats.regions_mapped == 1
+
+    def test_second_touch_is_free(self, vm, coll):
+        em = contiguous_map()
+        coll.ensure(5, 0, 4096, em)
+        before = vm.clock.now_ns
+        coll.ensure(5, 100_000, 4096, em)  # same 2 MB region
+        assert vm.clock.now_ns == before
+        assert coll.stats.lookup_hits == 1
+
+    def test_spanning_regions_maps_both(self, vm, coll):
+        em = ExtentMap([FileExtent(0, HB, 2 * HB)])
+        coll.ensure(5, C.HUGE_PAGE_SIZE - 100, 200, em)
+        assert coll.stats.regions_mapped == 2
+
+    def test_huge_page_used_for_aligned_region(self, vm, coll):
+        coll.ensure(5, 0, 4096, contiguous_map())
+        assert vm.stats.huge_mappings == 1
+
+    def test_fragmented_region_falls_back_to_4k(self, vm, coll):
+        em = ExtentMap([FileExtent(0, HB, HB // 2),
+                        FileExtent(HB // 2, 4 * HB, HB // 2)])
+        coll.ensure(5, 0, C.HUGE_PAGE_SIZE, em)
+        assert vm.stats.huge_mappings == 0
+        assert vm.stats.faults_4k == HB
+
+    def test_map_size_must_be_huge_multiple(self, vm):
+        with pytest.raises(ValueError):
+            MmapCollection(vm, map_size=4096)
+
+
+class TestAdopt:
+    def test_adopt_is_zero_cost(self, vm, coll):
+        before = vm.clock.now_ns
+        coll.adopt(5, 0, 1 << 20)
+        assert vm.clock.now_ns == before
+        assert coll.stats.regions_adopted == 1
+
+    def test_adopted_region_counts_as_mapped(self, vm, coll):
+        coll.adopt(5, 0, 4096)
+        before = vm.clock.now_ns
+        coll.ensure(5, 0, 4096, contiguous_map())
+        assert vm.clock.now_ns == before  # hit, no mapping work
+
+    def test_adopt_does_not_clobber_existing(self, vm, coll):
+        coll.ensure(5, 0, 4096, contiguous_map())
+        coll.adopt(5, 0, 4096)
+        assert coll.stats.regions_adopted == 0
+
+    def test_adopt_zero_length_noop(self, coll):
+        coll.adopt(5, 0, 0)
+        assert coll.region_count() == 0
+
+
+class TestDropFile:
+    def test_drop_unmaps_all_regions_of_file(self, vm, coll):
+        em = ExtentMap([FileExtent(0, HB, 2 * HB)])
+        coll.ensure(5, 0, 2 * C.HUGE_PAGE_SIZE, em)
+        coll.ensure(6, 0, 4096, contiguous_map(phys=8 * HB))
+        dropped = coll.drop_file(5)
+        assert dropped == 2
+        assert coll.region_count() == 1
+
+    def test_drop_charges_munmap(self, vm, coll):
+        coll.ensure(5, 0, 4096, contiguous_map())
+        before = vm.clock.now_ns
+        coll.drop_file(5)
+        assert vm.clock.now_ns - before >= C.MUNMAP_NS
+
+    def test_drop_adopted_region(self, vm, coll):
+        coll.adopt(5, 0, 4096)
+        assert coll.drop_file(5) == 1
+
+    def test_dram_footprint_tracks_regions(self, coll):
+        assert coll.dram_footprint_bytes() == 0
+        coll.adopt(1, 0, 4096)
+        coll.adopt(2, 0, 4096)
+        assert coll.dram_footprint_bytes() == 128

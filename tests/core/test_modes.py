@@ -1,0 +1,41 @@
+"""Unit tests for the Mode enum (Table 3 mapping)."""
+
+import pytest
+
+from repro.core.modes import Mode
+
+
+class TestModeProperties:
+    def test_posix(self):
+        m = Mode.POSIX
+        assert not m.sync_data
+        assert not m.atomic_data
+        assert not m.logs_operations
+        assert not m.stages_overwrites
+        assert m.equivalent_systems == "ext4-DAX"
+
+    def test_sync(self):
+        m = Mode.SYNC
+        assert m.sync_data
+        assert not m.atomic_data
+        assert not m.logs_operations
+        assert not m.stages_overwrites
+        assert "PMFS" in m.equivalent_systems
+
+    def test_strict(self):
+        m = Mode.STRICT
+        assert m.sync_data
+        assert m.atomic_data
+        assert m.logs_operations
+        assert m.stages_overwrites
+        assert "NOVA-strict" in m.equivalent_systems
+
+    def test_values_round_trip(self):
+        for m in Mode:
+            assert Mode(m.value) is m
+
+    def test_strictness_is_monotone(self):
+        order = [Mode.POSIX, Mode.SYNC, Mode.STRICT]
+        flags = [(m.sync_data, m.atomic_data) for m in order]
+        for weaker, stronger in zip(flags, flags[1:]):
+            assert sum(stronger) >= sum(weaker)

@@ -1,0 +1,142 @@
+"""Unit tests for strict-mode recovery internals (beyond the crash matrix)."""
+
+import pytest
+
+from repro.core import Mode, SplitFS, SplitFSConfig, recover
+from repro.core.recovery import _path_of, find_oplogs
+from repro.ext4.filesystem import Ext4DaxFS, ROOT_INO
+from repro.kernel.machine import Machine
+from repro.posix import flags as F
+
+PM = 128 * 1024 * 1024
+
+
+def fresh_strict():
+    m = Machine(PM)
+    kfs = Ext4DaxFS.format(m)
+    return m, kfs, SplitFS(kfs, mode=Mode.STRICT)
+
+
+class TestFindOplogs:
+    def test_finds_the_instance_log(self):
+        m, kfs, fs = fresh_strict()
+        logs = find_oplogs(kfs)
+        assert len(logs) == 1
+        path, base, size = logs[0]
+        assert path.startswith("/.splitfs/oplog-")
+        assert size == fs.config.oplog_bytes
+
+    def test_multiple_instances_multiple_logs(self):
+        m = Machine(PM)
+        kfs = Ext4DaxFS.format(m)
+        SplitFS(kfs, mode=Mode.STRICT)
+        SplitFS(kfs, mode=Mode.STRICT)
+        assert len(find_oplogs(kfs)) == 2
+
+    def test_no_logs_without_strict_instances(self):
+        m = Machine(PM)
+        kfs = Ext4DaxFS.format(m)
+        SplitFS(kfs, mode=Mode.POSIX)
+        assert find_oplogs(kfs) == []
+
+
+class TestPathReconstruction:
+    def test_root_level(self):
+        m, kfs, fs = fresh_strict()
+        fs.write_file("/a", b"x")
+        ino = kfs._resolve("/a")
+        assert _path_of(kfs, ROOT_INO, "a") == "/a"
+
+    def test_nested(self):
+        m, kfs, fs = fresh_strict()
+        fs.mkdir("/d1")
+        fs.mkdir("/d1/d2")
+        parent = kfs._resolve("/d1/d2")
+        assert _path_of(kfs, parent, "leaf") == "/d1/d2/leaf"
+
+    def test_unreachable_returns_none(self):
+        m, kfs, fs = fresh_strict()
+        assert _path_of(kfs, 999, "x") is None
+
+
+class TestReplaySemantics:
+    def test_entries_for_already_relinked_data_are_skipped(self):
+        m, kfs, fs = fresh_strict()
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"A" * 5000)
+        fs.fsync(fd)  # relinks; the log entry's staging range becomes a hole
+        fs.write(fd, b"B" * 3000)  # still staged
+        m.crash()
+        kfs2, report = recover(m, strict=True)
+        # Only the un-relinked append needed replay.
+        assert report.data_entries_skipped >= 1
+        assert report.data_entries_replayed >= 1
+        f2 = kfs2.open("/f", F.O_RDONLY)
+        assert kfs2.pread(f2, 8000, 0) == b"A" * 5000 + b"B" * 3000
+
+    def test_create_then_rename_then_append_replays_in_order(self):
+        m, kfs, fs = fresh_strict()
+        fd = fs.open("/orig", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"one")
+        fs.rename("/orig", "/renamed")
+        fs.pwrite(fd, b"two", 3)
+        m.crash()
+        kfs2, report = recover(m, strict=True)
+        assert kfs2.exists("/renamed")
+        assert not kfs2.exists("/orig")
+        assert kfs2.read_file("/renamed") == b"onetwo"
+
+    def test_unlink_replay(self):
+        m, kfs, fs = fresh_strict()
+        fs.write_file("/doomed", b"gone")
+        fs.unlink("/doomed")
+        m.crash()
+        kfs2, _ = recover(m, strict=True)
+        assert not kfs2.exists("/doomed")
+
+    def test_truncate_replay(self):
+        m, kfs, fs = fresh_strict()
+        fd = fs.open("/t", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"Z" * 9000)
+        fs.fsync(fd)
+        fs.ftruncate(fd, 100)
+        m.crash()
+        kfs2, _ = recover(m, strict=True)
+        assert kfs2.stat("/t").st_size == 100
+
+    def test_mkdir_replay(self):
+        m, kfs, fs = fresh_strict()
+        fs.mkdir("/newdir")
+        fd = fs.open("/newdir/child", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"c" * 100)
+        m.crash()
+        kfs2, _ = recover(m, strict=True)
+        assert kfs2.exists("/newdir/child")
+        assert kfs2.stat("/newdir/child").st_size == 100
+
+    def test_log_zeroed_after_recovery(self):
+        m, kfs, fs = fresh_strict()
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"y" * 100)
+        m.crash()
+        recover(m, strict=True)
+        # A second recovery finds an empty (zeroed) log.
+        m.crash()
+        _, report2 = recover(m, strict=True)
+        assert report2.entries_scanned == 0
+
+    def test_checkpoint_then_crash_recovers_cleanly(self):
+        m = Machine(PM)
+        kfs = Ext4DaxFS.format(m)
+        fs = SplitFS(kfs, mode=Mode.STRICT,
+                     config=SplitFSConfig(oplog_bytes=4096))  # 64 entries
+        fd = fs.open("/cp", F.O_CREAT | F.O_RDWR)
+        for i in range(100):  # forces at least one checkpoint
+            fs.write(fd, bytes([i % 251]) * 64)
+        assert fs.oplog.checkpoints >= 1
+        m.crash()
+        kfs2, _ = recover(m, strict=True)
+        f2 = kfs2.open("/cp", F.O_RDONLY)
+        data = kfs2.pread(f2, 6400, 0)
+        for i in range(100):
+            assert data[i * 64 : (i + 1) * 64] == bytes([i % 251]) * 64

@@ -1,0 +1,255 @@
+"""SplitFS-specific behaviour tests (beyond the generic conformance suite)."""
+
+import pytest
+
+from repro.core import Mode, SplitFS, SplitFSConfig
+from repro.ext4.filesystem import Ext4DaxFS
+from repro.kernel.machine import Machine
+from repro.pmem.constants import BLOCK_SIZE
+from repro.posix import flags as F
+
+PM = 96 * 1024 * 1024
+
+
+def make(mode=Mode.POSIX, config=None):
+    m = Machine(PM)
+    kfs = Ext4DaxFS.format(m)
+    return m, kfs, SplitFS(kfs, mode=mode, config=config)
+
+
+class TestDataPathAvoidsKernel:
+    def test_read_does_not_trap(self):
+        m, kfs, fs = make()
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"x" * 8192)
+        fs.fsync(fd)
+        fs.pread(fd, 4096, 0)  # warm the mapping
+        before = m.clock.now_ns
+        fs.pread(fd, 4096, 4096)
+        cost = m.clock.now_ns - before
+        # A kernel read costs >= trap (450ns) + path; U-Split must be
+        # well under one trap for a warm 4K read.
+        assert cost < 800
+
+    def test_append_does_not_trap(self):
+        m, kfs, fs = make()
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"warm" * 1024)  # set up carve + mapping
+        before = m.clock.now_ns
+        fs.write(fd, b"y" * 4096)
+        cost = m.clock.now_ns - before
+        assert cost < 1500  # ~671ns data + user-space bookkeeping
+
+    def test_appends_visible_before_fsync(self):
+        _, kfs, fs = make()
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"staged data")
+        assert fs.pread(fd, 11, 0) == b"staged data"
+        assert fs.fstat(fd).st_size == 11
+        # But the kernel file is still empty (not yet relinked).
+        assert kfs.inodes[fs.fds[fd].ufile.ino].size == 0
+
+    def test_fsync_relinks_into_kernel_file(self):
+        _, kfs, fs = make()
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"z" * 10000)
+        fs.fsync(fd)
+        assert kfs.inodes[fs.fds[fd].ufile.ino].size == 10000
+
+    def test_relink_moves_without_copy(self):
+        m, kfs, fs = make()
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        for _ in range(8):
+            fs.write(fd, b"q" * BLOCK_SIZE)
+        written_before = m.pm.stats.data_bytes_written
+        fs.fsync(fd)
+        # fsync must not rewrite the 32 KB of data.
+        assert m.pm.stats.data_bytes_written - written_before < BLOCK_SIZE
+
+    def test_close_relinks_staged_appends(self):
+        _, kfs, fs = make()
+        fd = fs.open("/g", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"c" * 5000)
+        ino = fs.fds[fd].ufile.ino
+        fs.close(fd)
+        assert kfs.inodes[ino].size == 5000
+
+    def test_interleaved_append_read_append(self):
+        _, _, fs = make()
+        fd = fs.open("/i", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"A" * 3000)
+        assert fs.pread(fd, 3000, 0) == b"A" * 3000
+        fs.write(fd, b"B" * 3000)
+        fs.fsync(fd)
+        fs.write(fd, b"C" * 3000)
+        data = fs.pread(fd, 9000, 0)
+        assert data == b"A" * 3000 + b"B" * 3000 + b"C" * 3000
+
+
+class TestCachedOpens:
+    def test_reopen_is_cheaper_than_first_open(self):
+        m, _, fs = make()
+        with m.clock.measure() as first:
+            fd = fs.open("/c", F.O_CREAT | F.O_RDWR)
+        fs.close(fd)
+        with m.clock.measure() as second:
+            fd = fs.open("/c", F.O_RDWR)
+        assert second.total_ns < first.total_ns / 2
+
+    def test_cache_cleared_on_unlink(self):
+        _, _, fs = make()
+        fd = fs.open("/u", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"data")
+        fs.fsync(fd)
+        fs.close(fd)
+        fs.unlink("/u")
+        assert not fs.exists("/u")
+        fd = fs.open("/u", F.O_CREAT | F.O_RDWR)
+        assert fs.fstat(fd).st_size == 0
+
+    def test_stat_served_from_cache_includes_staged_size(self):
+        _, _, fs = make()
+        fd = fs.open("/s", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"12345")
+        assert fs.stat("/s").st_size == 5
+
+
+class TestDup:
+    def test_dup_shares_offset(self):
+        _, _, fs = make()
+        fd = fs.open("/d", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"0123456789")
+        fd2 = fs.dup(fd)
+        fs.lseek(fd, 0)
+        assert fs.read(fd2, 3) == b"012"  # offset shared
+        assert fs.read(fd, 3) == b"345"
+        fs.close(fd2)
+        fs.read(fd, 1)  # original still usable after dup close
+
+    def test_dup_of_bad_fd(self):
+        from repro.posix.errors import BadFileDescriptorError
+
+        _, _, fs = make()
+        with pytest.raises(BadFileDescriptorError):
+            fs.dup(12345)
+
+
+class TestStrictMode:
+    def test_every_data_op_logged(self):
+        _, _, fs_tuple = None, None, None
+        m, kfs, fs = make(Mode.STRICT)
+        fd = fs.open("/l", F.O_CREAT | F.O_RDWR)
+        appends_before = fs.oplog.appends
+        for _ in range(10):
+            fs.write(fd, b"e" * 100)
+        assert fs.oplog.appends - appends_before == 10
+
+    def test_strict_overwrite_staged_not_inplace(self):
+        m, kfs, fs = make(Mode.STRICT)
+        fd = fs.open("/o", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"0" * 2 * BLOCK_SIZE)
+        fs.fsync(fd)
+        ino = fs.fds[fd].ufile.ino
+        phys_before = kfs.inodes[ino].extmap.lookup_block(0)
+        fs.pwrite(fd, b"1" * BLOCK_SIZE, 0)
+        # In-place data unchanged until fsync...
+        addr = phys_before * BLOCK_SIZE
+        assert m.pm.peek(addr, 4) == b"0000"
+        # ...but reads see the new data through the overlay.
+        assert fs.pread(fd, 4, 0) == b"1111"
+        fs.fsync(fd)
+        assert fs.pread(fd, 4, 0) == b"1111"
+
+    def test_log_full_triggers_checkpoint(self):
+        cfg = SplitFSConfig(oplog_bytes=BLOCK_SIZE)  # 64 entries
+        m, kfs, fs = make(Mode.STRICT, cfg)
+        fd = fs.open("/cp", F.O_CREAT | F.O_RDWR)
+        for i in range(200):
+            fs.write(fd, bytes([i % 250]) * 64)
+        assert fs.oplog.checkpoints >= 1
+        data = fs.pread(fd, 200 * 64, 0)
+        for i in range(200):
+            assert data[i * 64 : (i + 1) * 64] == bytes([i % 250]) * 64
+
+
+class TestWriteShapes:
+    @pytest.mark.parametrize("mode", [Mode.POSIX, Mode.SYNC, Mode.STRICT])
+    def test_straddling_write(self, mode):
+        _, _, fs = make(mode)
+        fd = fs.open("/str", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"a" * 1000)
+        fs.fsync(fd)  # committed size = 1000
+        fs.pwrite(fd, b"b" * 2000, 500)  # 500 overwrite + 1500 append
+        assert fs.fstat(fd).st_size == 2500
+        data = fs.pread(fd, 2500, 0)
+        assert data == b"a" * 500 + b"b" * 2000
+
+    @pytest.mark.parametrize("mode", [Mode.POSIX, Mode.STRICT])
+    def test_sparse_write_beyond_eof(self, mode):
+        _, _, fs = make(mode)
+        fd = fs.open("/sp", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"head")
+        fs.pwrite(fd, b"tail", 9000)
+        fs.fsync(fd)
+        data = fs.pread(fd, 9004, 0)
+        assert data[:4] == b"head"
+        assert data[4:9000] == b"\x00" * 8996
+        assert data[9000:] == b"tail"
+
+    def test_many_unaligned_appends_one_relink_run(self):
+        m, kfs, fs = make()
+        fd = fs.open("/un", F.O_CREAT | F.O_RDWR)
+        payload = b"record-xyz!" * 31  # 341 bytes
+        for _ in range(64):
+            fs.write(fd, payload)
+        ufile = fs.fds[fd].ufile
+        assert len(ufile.all_runs()) == 1  # contiguous appends share a run
+        fs.fsync(fd)
+        assert fs.pread(fd, len(payload), 30 * len(payload)) == payload
+
+
+class TestFigure3Toggles:
+    def test_no_staging_falls_through_to_kernel(self):
+        cfg = SplitFSConfig(use_staging=False)
+        m, kfs, fs = make(Mode.POSIX, cfg)
+        fd = fs.open("/ns", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"k" * 4096)
+        # Data went straight to the kernel file: size visible there.
+        assert kfs.inodes[fs.fds[fd].ufile.ino].size == 4096
+
+    def test_no_relink_copies_on_fsync(self):
+        cfg = SplitFSConfig(use_relink=False)
+        m, kfs, fs = make(Mode.POSIX, cfg)
+        fd = fs.open("/nr", F.O_CREAT | F.O_RDWR)
+        for _ in range(4):
+            fs.write(fd, b"c" * BLOCK_SIZE)
+        written_before = m.pm.stats.data_bytes_written
+        fs.fsync(fd)
+        # Without relink the staged 16 KB is physically copied.
+        assert m.pm.stats.data_bytes_written - written_before >= 4 * BLOCK_SIZE
+        assert fs.pread(fd, 4, 0) == b"cccc"
+
+    def test_dram_staging_round_trip(self):
+        cfg = SplitFSConfig(dram_staging=True)
+        m, kfs, fs = make(Mode.POSIX, cfg)
+        fd = fs.open("/dr", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"d" * 5000)
+        assert fs.pread(fd, 5000, 0) == b"d" * 5000
+        fs.fsync(fd)
+        assert fs.pread(fd, 5000, 0) == b"d" * 5000
+        assert kfs.inodes[fs.fds[fd].ufile.ino].size == 5000
+
+
+class TestResourceAccounting:
+    def test_dram_usage_grows_with_files(self):
+        _, _, fs = make()
+        base = fs.dram_usage_bytes()
+        for i in range(10):
+            fd = fs.open(f"/r{i}", F.O_CREAT | F.O_RDWR)
+            fs.write(fd, b"x" * 100)
+        assert fs.dram_usage_bytes() > base
+
+    def test_listdir_hides_splitfs_internals(self):
+        _, _, fs = make()
+        fs.write_file("/visible", b"1")
+        assert fs.listdir("/") == ["visible"]

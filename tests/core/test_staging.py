@@ -1,0 +1,83 @@
+"""Unit tests for staging-file management."""
+
+import pytest
+
+from repro.core.staging import STAGING_DIR, StagingManager
+from repro.ext4.filesystem import Ext4DaxFS
+from repro.kernel.machine import Machine
+from repro.pmem.constants import BLOCK_SIZE, HUGE_PAGE_SIZE
+
+
+@pytest.fixture
+def kfs():
+    return Ext4DaxFS.format(Machine(96 * 1024 * 1024))
+
+
+@pytest.fixture
+def mgr(kfs):
+    return StagingManager(kfs, instance_id=0, count=3, file_size=1 << 20)
+
+
+class TestPoolSetup:
+    def test_files_precreated(self, kfs, mgr):
+        assert len(mgr.files) == 3
+        names = kfs.listdir(STAGING_DIR)
+        assert len([n for n in names if n.startswith("stage-")]) == 3
+
+    def test_files_preallocated_fully(self, kfs, mgr):
+        for f in mgr.files:
+            inode = kfs.inodes[f.ino]
+            assert inode.extmap.blocks_used * BLOCK_SIZE >= f.capacity
+
+    def test_files_are_huge_aligned(self, kfs, mgr):
+        for f in mgr.files:
+            ext = kfs.inodes[f.ino].extmap.extents[0]
+            assert (ext.phys * BLOCK_SIZE) % HUGE_PAGE_SIZE == 0
+
+
+class TestCarving:
+    def test_phase_alignment(self, mgr):
+        for phase in (0, 1, 511, 4095):
+            carve = mgr.carve(10_000, phase=phase)
+            assert carve.offset % BLOCK_SIZE == phase
+
+    def test_carves_do_not_overlap(self, mgr):
+        spans = []
+        for i in range(20):
+            c = mgr.carve(8192, phase=i * 7 % BLOCK_SIZE)
+            spans.append((c.staging.ino, c.offset, c.offset + c.capacity))
+        spans.sort()
+        for (i1, s1, e1), (i2, s2, _) in zip(spans, spans[1:]):
+            if i1 == i2:
+                assert e1 <= s2
+
+    def test_carve_capacity_covers_request(self, mgr):
+        c = mgr.carve(300_000, phase=123)
+        assert c.capacity >= 300_000
+
+    def test_exhaustion_triggers_background_refill(self, mgr):
+        # 1 MB files; carve chunks of 256 KB until the pool cycles.
+        for _ in range(30):
+            mgr.carve(200_000, phase=0)
+        assert mgr.background_refills > 0
+        assert len(mgr.files) >= 1
+
+    def test_background_refill_not_charged_to_foreground(self, kfs, mgr):
+        before = kfs.clock.now_ns
+        for _ in range(30):
+            mgr.carve(200_000, phase=0)
+        foreground = kfs.clock.now_ns - before
+        assert mgr.background_account.total_ns > 0
+        # The foreground cost must exclude file-creation work.
+        assert foreground < mgr.background_account.total_ns
+
+    def test_oversized_request_gets_dedicated_file(self, mgr):
+        c = mgr.carve(4 << 20, phase=100)  # bigger than the 1 MB files
+        assert c.capacity >= 4 << 20
+        assert c.offset % BLOCK_SIZE == 100
+
+    def test_space_accounting(self, mgr):
+        used_before = mgr.space_in_use()
+        for _ in range(30):
+            mgr.carve(200_000, phase=0)
+        assert mgr.space_in_use() > used_before

@@ -1,0 +1,169 @@
+"""ext4 internals: orphans, fallocate, quarantine, journal wrap, ENOSPC."""
+
+import pytest
+
+from repro.ext4.filesystem import Ext4Config, Ext4DaxFS
+from repro.kernel.machine import Machine
+from repro.pmem.constants import BLOCK_SIZE, BLOCKS_PER_HUGE_PAGE
+from repro.posix import flags as F
+from repro.posix.errors import NoSpaceFSError
+
+PM = 96 * 1024 * 1024
+
+
+@pytest.fixture
+def fs():
+    return Ext4DaxFS.format(Machine(PM))
+
+
+class TestOrphanSemantics:
+    def test_unlinked_open_file_remains_readable(self, fs):
+        fd = fs.open("/o", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"still here")
+        fs.unlink("/o")
+        assert not fs.exists("/o")
+        assert fs.pread(fd, 10, 0) == b"still here"
+
+    def test_blocks_freed_at_last_close(self, fs):
+        fd = fs.open("/o2", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"x" * (64 * BLOCK_SIZE))
+        free_before = fs.alloc.free_blocks
+        fs.unlink("/o2")
+        assert fs.alloc.free_blocks == free_before  # still held open
+        fs.close(fd)
+        assert fs.alloc.free_blocks == free_before + 64
+
+    def test_orphan_cleaned_at_mount(self, fs):
+        fd = fs.open("/o3", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"y" * BLOCK_SIZE)
+        fs.fsync(fd)
+        fs.unlink("/o3")
+        fs.sync()  # commit the unlink (nlink=0) while fd stays open
+        fs.machine.crash()
+        fs2 = Ext4DaxFS.mount(fs.machine)
+        assert not fs2.exists("/o3")
+        # The orphan's inode slot is reusable.
+        assert len(fs2.free_inos) >= len(fs.free_inos)
+
+    def test_rename_over_open_file_defers_release(self, fs):
+        fs.write_file("/target", b"old")
+        fd = fs.open("/target", F.O_RDONLY)
+        fs.write_file("/src", b"new")
+        fs.rename("/src", "/target")
+        assert fs.pread(fd, 3, 0) == b"old"  # old inode via open fd
+        assert fs.read_file("/target") == b"new"
+
+
+class TestFallocate:
+    def test_allocates_without_changing_content_semantics(self, fs):
+        fd = fs.open("/fa", F.O_CREAT | F.O_RDWR)
+        fs.fallocate(fd, 1 << 20)
+        assert fs.fstat(fd).st_size == 1 << 20
+        ino = fs.fdt.get(fd).ino
+        assert fs.inodes[ino].extmap.blocks_used == (1 << 20) // BLOCK_SIZE
+
+    def test_huge_aligned_allocation(self, fs):
+        fd = fs.open("/fh", F.O_CREAT | F.O_RDWR)
+        fs.fallocate(fd, 4 << 20, huge_aligned=True)
+        ino = fs.fdt.get(fd).ino
+        ext = fs.inodes[ino].extmap.extents[0]
+        assert ext.phys % BLOCKS_PER_HUGE_PAGE == 0
+
+    def test_idempotent(self, fs):
+        fd = fs.open("/fi", F.O_CREAT | F.O_RDWR)
+        fs.fallocate(fd, 1 << 20)
+        used = fs.alloc.used_blocks
+        fs.fallocate(fd, 1 << 20)
+        assert fs.alloc.used_blocks == used
+
+    def test_does_not_shrink(self, fs):
+        fd = fs.open("/fs", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"z" * 100)
+        fs.fallocate(fd, 10)
+        assert fs.fstat(fd).st_size == 100
+
+
+class TestQuarantine:
+    def test_dir_blocks_quarantined_until_journal_reset(self, fs):
+        fs.mkdir("/q")
+        for i in range(5):
+            fs.write_file(f"/q/f{i}", b"x")
+        for i in range(5):
+            fs.unlink(f"/q/f{i}")
+        fs.rmdir("/q")
+        fs.sync()
+        assert fs._quarantine  # the dir's data block is parked
+        free_before = fs.alloc.free_blocks
+        # Fill the journal until it checkpoints, releasing the quarantine.
+        fd = fs.open("/filler", F.O_CREAT | F.O_RDWR)
+        for i in range(fs.config.journal_blocks):
+            fs.write(fd, b"f" * BLOCK_SIZE)
+            fs.fsync(fd)
+            if not fs._quarantine:
+                break
+        assert not fs._quarantine
+        assert fs.alloc.free_blocks < free_before + fs.config.journal_blocks
+
+    def test_cont_blocks_quarantined_on_release(self, fs):
+        from repro.ext4.inode import MAX_EXTENTS_PRIMARY
+
+        fd = fs.open("/frag", F.O_CREAT | F.O_RDWR)
+        # Build a fragmented file that needs continuation blocks: write,
+        # then punch alternating blocks via truncate-and-rewrite cycles.
+        n = MAX_EXTENTS_PRIMARY + 10
+        blocker = fs.open("/blocker", F.O_CREAT | F.O_RDWR)
+        for i in range(n):
+            fs.pwrite(fd, b"a" * BLOCK_SIZE, i * 2 * BLOCK_SIZE)
+            fs.pwrite(blocker, b"b" * BLOCK_SIZE, i * BLOCK_SIZE)
+        ino = fs.fdt.get(fd).ino
+        fs.fsync(fd)
+        assert fs.inodes[ino].cont_blocks
+        fs.close(fd)
+        fs.unlink("/frag")
+        assert fs._quarantine
+
+
+class TestJournalPressure:
+    def test_many_fsyncs_wrap_the_journal(self):
+        m = Machine(PM)
+        fs = Ext4DaxFS.format(m, Ext4Config(journal_blocks=32))
+        fd = fs.open("/w", F.O_CREAT | F.O_RDWR)
+        for i in range(100):
+            fs.write(fd, b"j" * BLOCK_SIZE)
+            fs.fsync(fd)
+        assert fs.journal.stats.checkpoints > 0
+        m.crash()
+        fs2 = Ext4DaxFS.mount(m)
+        assert fs2.stat("/w").st_size == 100 * BLOCK_SIZE
+
+    def test_mount_after_heavy_churn(self, fs):
+        for round_ in range(3):
+            for i in range(40):
+                fs.write_file(f"/c{i}", bytes([round_]) * 2000)
+            for i in range(0, 40, 2):
+                fs.unlink(f"/c{i}")
+        fd = fs.open("/c1", F.O_RDONLY)
+        fs.fsync(fs.open("/c1", F.O_RDWR))
+        fs.sync()
+        fs.machine.crash()
+        fs2 = Ext4DaxFS.mount(fs.machine)
+        assert fs2.read_file("/c1") == bytes([2]) * 2000
+
+
+class TestDeviceFull:
+    def test_write_raises_enospc_cleanly(self):
+        m = Machine(32 * 1024 * 1024)
+        fs = Ext4DaxFS.format(m, Ext4Config(journal_blocks=64, max_inodes=64))
+        fd = fs.open("/big", F.O_CREAT | F.O_RDWR)
+        with pytest.raises(NoSpaceFSError):
+            for _ in range(40_000):
+                fs.write(fd, b"g" * BLOCK_SIZE)
+        # The file system stays usable afterwards.
+        fs.write_file("/ok", b"still works") if fs.alloc.free_blocks > 2 else None
+
+    def test_inode_exhaustion(self):
+        m = Machine(64 * 1024 * 1024)
+        fs = Ext4DaxFS.format(m, Ext4Config(max_inodes=8))
+        with pytest.raises(NoSpaceFSError):
+            for i in range(20):
+                fs.write_file(f"/n{i}", b"")

@@ -1,0 +1,126 @@
+"""Unit tests for the extent map (the structure relink operates on)."""
+
+import pytest
+
+from repro.ext4.extents import ExtentMap, FileExtent
+from repro.pmem.allocator import Extent
+from repro.pmem.constants import BLOCK_SIZE
+
+
+class TestLookup:
+    def test_empty_map_is_all_holes(self):
+        m = ExtentMap()
+        assert m.lookup_block(0) is None
+        assert m.map_byte_range(0, 100) == [(None, 100)]
+
+    def test_lookup_within_extent(self):
+        m = ExtentMap([FileExtent(2, 100, 3)])
+        assert m.lookup_block(2) == 100
+        assert m.lookup_block(4) == 102
+        assert m.lookup_block(5) is None
+        assert m.lookup_block(1) is None
+
+    def test_map_byte_range_with_holes(self):
+        m = ExtentMap([FileExtent(1, 50, 1)])
+        runs = m.map_byte_range(0, 3 * BLOCK_SIZE)
+        assert runs == [
+            (None, BLOCK_SIZE),
+            (50 * BLOCK_SIZE, BLOCK_SIZE),
+            (None, BLOCK_SIZE),
+        ]
+
+    def test_map_byte_range_partial_block(self):
+        m = ExtentMap([FileExtent(0, 10, 2)])
+        runs = m.map_byte_range(100, 50)
+        assert runs == [(10 * BLOCK_SIZE + 100, 50)]
+
+    def test_map_range_spans_extents(self):
+        m = ExtentMap([FileExtent(0, 10, 1), FileExtent(1, 99, 1)])
+        runs = m.map_byte_range(BLOCK_SIZE - 8, 16)
+        assert runs == [(10 * BLOCK_SIZE + BLOCK_SIZE - 8, 8), (99 * BLOCK_SIZE, 8)]
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            ExtentMap().map_byte_range(-1, 10)
+
+
+class TestInsert:
+    def test_insert_and_coalesce(self):
+        m = ExtentMap()
+        m.insert(0, 10, 2)
+        m.insert(2, 12, 2)  # logically and physically adjacent
+        assert len(m) == 1
+        assert m.extents[0] == FileExtent(0, 10, 4)
+
+    def test_insert_non_adjacent_stays_separate(self):
+        m = ExtentMap()
+        m.insert(0, 10, 1)
+        m.insert(1, 50, 1)  # logical-adjacent but physically not
+        assert len(m) == 2
+
+    def test_overlap_rejected(self):
+        m = ExtentMap([FileExtent(0, 10, 4)])
+        with pytest.raises(ValueError):
+            m.insert(2, 99, 1)
+
+    def test_zero_length_insert_ignored(self):
+        m = ExtentMap()
+        m.insert(0, 10, 0)
+        assert len(m) == 0
+
+    def test_overlapping_constructor_rejected(self):
+        with pytest.raises(ValueError):
+            ExtentMap([FileExtent(0, 1, 4), FileExtent(2, 9, 2)])
+
+
+class TestPunch:
+    def test_punch_whole_extent(self):
+        m = ExtentMap([FileExtent(0, 10, 4)])
+        removed = m.punch(0, 4)
+        assert removed == [Extent(10, 4)]
+        assert len(m) == 0
+
+    def test_punch_middle_splits(self):
+        m = ExtentMap([FileExtent(0, 10, 10)])
+        removed = m.punch(3, 4)
+        assert removed == [Extent(13, 4)]
+        assert m.lookup_block(2) == 12
+        assert m.lookup_block(3) is None
+        assert m.lookup_block(7) == 17
+
+    def test_punch_across_extents(self):
+        m = ExtentMap([FileExtent(0, 10, 2), FileExtent(2, 50, 2)])
+        removed = m.punch(1, 2)
+        assert removed == [Extent(11, 1), Extent(50, 1)]
+        assert m.blocks_used == 2
+
+    def test_punch_hole_returns_nothing(self):
+        m = ExtentMap([FileExtent(5, 10, 1)])
+        assert m.punch(0, 3) == []
+
+    def test_truncate_blocks(self):
+        m = ExtentMap([FileExtent(0, 10, 8)])
+        freed = m.truncate_blocks(3)
+        assert freed == [Extent(13, 5)]
+        assert m.blocks_used == 3
+
+    def test_truncate_beyond_end_is_noop(self):
+        m = ExtentMap([FileExtent(0, 10, 2)])
+        assert m.truncate_blocks(5) == []
+
+
+class TestSliceMappings:
+    def test_slice_does_not_mutate(self):
+        m = ExtentMap([FileExtent(0, 10, 4)])
+        pieces = m.slice_mappings(1, 2)
+        assert pieces == [FileExtent(1, 11, 2)]
+        assert m.blocks_used == 4
+
+    def test_slice_with_holes_skips_them(self):
+        m = ExtentMap([FileExtent(0, 10, 1), FileExtent(3, 40, 2)])
+        pieces = m.slice_mappings(0, 5)
+        assert pieces == [FileExtent(0, 10, 1), FileExtent(3, 40, 2)]
+
+    def test_physical_extents(self):
+        m = ExtentMap([FileExtent(0, 10, 1), FileExtent(5, 99, 2)])
+        assert m.physical_extents() == [Extent(10, 1), Extent(99, 2)]

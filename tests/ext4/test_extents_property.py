@@ -1,0 +1,92 @@
+"""Property-based tests: the extent map behaves like a logical->physical dict."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ext4.extents import ExtentMap
+
+MAX_LOGICAL = 64
+
+
+class ModelOps:
+    """Reference model: plain dict of logical block -> physical block."""
+
+    def __init__(self):
+        self.map = {}
+        self.em = ExtentMap()
+        self.next_phys = 1000
+
+    def insert(self, logical, length):
+        span = range(logical, logical + length)
+        if any(lb in self.map for lb in span):
+            return
+        self.em.insert(logical, self.next_phys, length)
+        for i, lb in enumerate(span):
+            self.map[lb] = self.next_phys + i
+        self.next_phys += length + 3  # gap: prevent accidental coalescing
+
+    def punch(self, logical, length):
+        removed = self.em.punch(logical, length)
+        removed_model = []
+        for lb in range(logical, logical + length):
+            if lb in self.map:
+                removed_model.append(self.map.pop(lb))
+        flat = [e.start + i for e in removed for i in range(e.length)]
+        assert sorted(flat) == sorted(removed_model)
+
+    def check(self):
+        for lb in range(MAX_LOGICAL + 8):
+            assert self.em.lookup_block(lb) == self.map.get(lb)
+        assert self.em.blocks_used == len(self.map)
+
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "punch"]),
+        st.integers(min_value=0, max_value=MAX_LOGICAL),
+        st.integers(min_value=1, max_value=12),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=op_strategy)
+@settings(max_examples=120)
+def test_extent_map_matches_dict_model(ops):
+    model = ModelOps()
+    for op, logical, length in ops:
+        if op == "insert":
+            model.insert(logical, length)
+        else:
+            model.punch(logical, length)
+        model.check()
+
+
+@given(ops=op_strategy)
+@settings(max_examples=60)
+def test_extents_always_sorted_and_disjoint(ops):
+    model = ModelOps()
+    for op, logical, length in ops:
+        (model.insert if op == "insert" else model.punch)(logical, length)
+        exts = model.em.extents
+        for a, b in zip(exts, exts[1:]):
+            assert a.logical_end <= b.logical
+
+
+@given(
+    logical=st.integers(min_value=0, max_value=32),
+    length=st.integers(min_value=1, max_value=32),
+    punch_at=st.integers(min_value=0, max_value=64),
+    punch_len=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=100)
+def test_punch_then_reinsert_round_trips(logical, length, punch_at, punch_len):
+    em = ExtentMap()
+    em.insert(logical, 500, length)
+    removed = em.punch(punch_at, punch_len)
+    cursor = max(punch_at, logical)
+    for ext in removed:
+        em.insert(cursor, ext.start, ext.length)
+        cursor += ext.length
+    for lb in range(logical, logical + length):
+        assert em.lookup_block(lb) == 500 + (lb - logical)

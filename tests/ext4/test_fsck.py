@@ -1,0 +1,115 @@
+"""fsck tests: clean images pass, injected corruption is detected."""
+
+import pytest
+
+from repro.ext4.extents import FileExtent
+from repro.ext4.filesystem import Ext4DaxFS
+from repro.ext4.fsck import assert_clean, fsck
+from repro.kernel.machine import Machine
+from repro.posix import flags as F
+
+PM = 96 * 1024 * 1024
+
+
+@pytest.fixture
+def fs():
+    return Ext4DaxFS.format(Machine(PM))
+
+
+def busy(fs):
+    fs.mkdir("/d")
+    for i in range(12):
+        fs.write_file(f"/d/f{i}", bytes([i]) * (1000 * (i + 1)))
+    fs.rename("/d/f3", "/d/g3")
+    fs.unlink("/d/f5")
+    fd = fs.open("/d/f1", F.O_RDWR)
+    fs.ftruncate(fd, 100)
+    fs.fsync(fd)
+
+
+class TestCleanImages:
+    def test_fresh_format_is_clean(self, fs):
+        assert fsck(fs).clean
+
+    def test_busy_fs_is_clean(self, fs):
+        busy(fs)
+        report = assert_clean(fs)
+        assert report.inodes_checked > 10
+        assert report.blocks_claimed > 0
+
+    def test_clean_after_crash_recovery(self, fs):
+        busy(fs)
+        fs.machine.crash()
+        fs2 = Ext4DaxFS.mount(fs.machine)
+        assert_clean(fs2)
+
+    def test_clean_after_relink(self, fs):
+        src = fs.open("/src", F.O_CREAT | F.O_RDWR)
+        dst = fs.open("/dst", F.O_CREAT | F.O_RDWR)
+        fs.write(src, b"s" * 20_000)
+        fs.ioctl_relink(src, 0, dst, 0, 20_000)
+        assert_clean(fs)
+
+    def test_clean_with_splitfs_on_top(self):
+        from repro.core import Mode, SplitFS
+
+        m = Machine(PM)
+        kfs = Ext4DaxFS.format(m)
+        sfs = SplitFS(kfs, mode=Mode.STRICT)
+        fd = sfs.open("/x", F.O_CREAT | F.O_RDWR)
+        for i in range(30):
+            sfs.write(fd, bytes([i]) * 3000)
+        sfs.fsync(fd)
+        sfs.pwrite(fd, b"o" * 500, 100)
+        sfs.fsync(fd)
+        assert_clean(kfs)
+
+
+class TestCorruptionDetection:
+    def test_double_claimed_block(self, fs):
+        fs.write_file("/a", b"1" * 5000)
+        fs.write_file("/b", b"2" * 5000)
+        ia = fs.inodes[fs._resolve("/a")]
+        ib = fs.inodes[fs._resolve("/b")]
+        # Point b's first extent at a's blocks.
+        stolen = ia.extmap.extents[0]
+        victim = ib.extmap.punch(0, 1)
+        ib.extmap.insert(0, stolen.phys, 1)
+        report = fsck(fs)
+        assert any("claimed by both" in e for e in report.errors)
+
+    def test_dangling_dirent(self, fs):
+        fs.write_file("/gone", b"x")
+        ino = fs._resolve("/gone")
+        fs.inodes.pop(ino)  # corrupt: remove inode, keep dirent
+        report = fsck(fs)
+        assert any("dead ino" in e for e in report.errors)
+
+    def test_extent_outside_data_region(self, fs):
+        fs.write_file("/oob", b"y" * 4096)
+        inode = fs.inodes[fs._resolve("/oob")]
+        inode.extmap.punch(0, 1)
+        inode.extmap.insert(0, 1, 1)  # block 1 = journal region
+        report = fsck(fs)
+        assert any("outside data region" in e for e in report.errors)
+
+    def test_unreachable_inode(self, fs):
+        fs.write_file("/orphaned", b"z")
+        ino = fs._resolve("/orphaned")
+        fs.dirs[1].remove("orphaned")  # drop the dirent but keep the inode
+        report = fsck(fs)
+        assert any("unreachable" in e for e in report.errors)
+
+    def test_assert_clean_raises_with_details(self, fs):
+        fs.write_file("/bad", b"x")
+        fs.inodes.pop(fs._resolve("/bad"))
+        with pytest.raises(AssertionError, match="dead ino"):
+            assert_clean(fs)
+
+    def test_accounting_mismatch_detected(self, fs):
+        fs.write_file("/acct", b"q" * 8192)
+        inode = fs.inodes[fs._resolve("/acct")]
+        # Leak a block: punch the mapping without freeing it.
+        inode.extmap.punch(0, 1)
+        report = fsck(fs)
+        assert any("accounting mismatch" in e for e in report.errors)

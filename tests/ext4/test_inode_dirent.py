@@ -1,0 +1,151 @@
+"""Unit tests for inode and dirent serialization."""
+
+import pytest
+
+from repro.ext4.dirent import DirData, MAX_NAME_LEN, SLOTS_PER_BLOCK
+from repro.ext4.extents import ExtentMap, FileExtent
+from repro.ext4.inode import (
+    EXTENTS_PER_CONT,
+    MAX_CONT_BLOCKS,
+    MAX_EXTENTS_PER_INODE,
+    MAX_EXTENTS_PRIMARY,
+    Inode,
+    cont_blocks_needed,
+    deserialize_inode,
+    free_inode_block,
+    serialize_inode,
+)
+from repro.pmem.constants import BLOCK_SIZE
+from repro.posix.errors import NameTooLongFSError, NoSpaceFSError
+
+
+class TestInodeSerialization:
+    def test_round_trip(self):
+        inode = Inode(
+            ino=42, mode=0o640, is_dir=False, nlink=2, size=123456,
+            extmap=ExtentMap([FileExtent(0, 10, 4), FileExtent(8, 99, 2)]),
+        )
+        [raw] = serialize_inode(inode)
+        assert len(raw) == BLOCK_SIZE
+        back = deserialize_inode(raw)
+        assert back.ino == 42
+        assert back.mode == 0o640
+        assert back.nlink == 2
+        assert back.size == 123456
+        assert back.extmap.extents == inode.extmap.extents
+
+    def test_directory_flag_round_trips(self):
+        [raw] = serialize_inode(Inode(ino=1, is_dir=True, nlink=2))
+        assert deserialize_inode(raw).is_dir
+
+    def test_free_block_deserializes_to_none(self):
+        assert deserialize_inode(free_inode_block()) is None
+
+    def test_garbage_deserializes_to_none(self):
+        assert deserialize_inode(b"\xff" * BLOCK_SIZE) is None
+
+    def test_too_many_extents_raises(self):
+        em = ExtentMap(
+            [FileExtent(i * 2, 10_000 + i * 2, 1) for i in range(MAX_EXTENTS_PER_INODE + 1)]
+        )
+        with pytest.raises(NoSpaceFSError):
+            serialize_inode(Inode(ino=1, extmap=em))
+
+    def test_primary_capacity_needs_no_cont_blocks(self):
+        em = ExtentMap(
+            [FileExtent(i * 2, 10_000 + i * 2, 1) for i in range(MAX_EXTENTS_PRIMARY)]
+        )
+        blocks = serialize_inode(Inode(ino=1, extmap=em))
+        assert len(blocks) == 1
+        back = deserialize_inode(blocks[0])
+        assert len(back.extmap.extents) == MAX_EXTENTS_PRIMARY
+
+    def test_overflow_uses_continuation_blocks(self):
+        n = MAX_EXTENTS_PRIMARY + EXTENTS_PER_CONT + 5
+        em = ExtentMap([FileExtent(i * 2, 10_000 + i * 2, 1) for i in range(n)])
+        assert cont_blocks_needed(n) == 2
+        inode = Inode(ino=1, extmap=em, cont_blocks=[500, 501])
+        blocks = serialize_inode(inode)
+        assert len(blocks) == 3
+        store = {500: blocks[1], 501: blocks[2]}
+        back = deserialize_inode(blocks[0], read_block=store.__getitem__)
+        assert back.extmap.extents == em.extents
+        assert back.cont_blocks == [500, 501]
+
+    def test_unprovisioned_cont_blocks_rejected(self):
+        n = MAX_EXTENTS_PRIMARY + 1
+        em = ExtentMap([FileExtent(i * 2, 10_000 + i * 2, 1) for i in range(n)])
+        with pytest.raises(AssertionError):
+            serialize_inode(Inode(ino=1, extmap=em))
+
+    def test_deserialize_overflow_without_reader_raises(self):
+        n = MAX_EXTENTS_PRIMARY + 1
+        em = ExtentMap([FileExtent(i * 2, 10_000 + i * 2, 1) for i in range(n)])
+        blocks = serialize_inode(Inode(ino=1, extmap=em, cont_blocks=[500]))
+        with pytest.raises(ValueError):
+            deserialize_inode(blocks[0])
+
+
+class TestDirData:
+    def test_add_lookup_remove(self):
+        d = DirData()
+        d.add("hello", 7)
+        assert d.lookup("hello") == 7
+        d.remove("hello")
+        assert d.lookup("hello") is None
+
+    def test_duplicate_add_rejected(self):
+        d = DirData()
+        d.add("x", 1)
+        with pytest.raises(ValueError):
+            d.add("x", 2)
+
+    def test_name_too_long(self):
+        with pytest.raises(NameTooLongFSError):
+            DirData().add("a" * (MAX_NAME_LEN + 1), 1)
+
+    def test_slots_are_reused(self):
+        d = DirData()
+        d.add("a", 1)
+        d.add("b", 2)
+        d.remove("a")
+        block = d.add("c", 3)
+        assert block == 0
+        assert d.nslots == 2  # slot 0 was recycled
+
+    def test_block_index_returned(self):
+        d = DirData()
+        for i in range(SLOTS_PER_BLOCK):
+            assert d.add(f"f{i}", i + 1) == 0
+        assert d.add("overflow", 999) == 1
+
+    def test_serialize_round_trip(self):
+        d = DirData()
+        names = {f"file-{i}": i + 1 for i in range(100)}
+        for name, ino in names.items():
+            d.add(name, ino)
+        d.remove("file-50")
+        blocks = [d.serialize_block(b) for b in range(d.capacity_blocks())]
+        back = DirData.deserialize(blocks)
+        assert back.lookup("file-50") is None
+        for name, ino in names.items():
+            if name != "file-50":
+                assert back.lookup(name) == ino
+
+    def test_replace(self):
+        d = DirData()
+        d.add("n", 1)
+        d.replace("n", 9)
+        assert d.lookup("n") == 9
+
+    def test_names_sorted(self):
+        d = DirData()
+        for name in ["zeta", "alpha", "mid"]:
+            d.add(name, 1)
+        assert d.names() == ["alpha", "mid", "zeta"]
+
+    def test_unicode_names(self):
+        d = DirData()
+        d.add("файл", 3)
+        blocks = [d.serialize_block(0)]
+        assert DirData.deserialize(blocks).lookup("файл") == 3

@@ -1,0 +1,134 @@
+"""Functional correctness via equivalence (paper Section 5.3).
+
+The paper validates SplitFS by running workloads and comparing the resulting
+file-system state with ext4 DAX.  We do the same, with hypothesis generating
+the operation sequences: after any sequence of POSIX calls (+ final fsyncs),
+the visible state of every SplitFS mode must equal ext4-DAX's.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Mode, SplitFS
+from repro.ext4.filesystem import Ext4DaxFS
+from repro.kernel.machine import Machine
+from repro.posix import flags as F
+from repro.posix.errors import FSError
+
+PM = 96 * 1024 * 1024
+FILES = ["/f0", "/f1", "/f2"]
+
+op_st = st.one_of(
+    st.tuples(st.just("write"), st.integers(0, 2), st.integers(0, 20000),
+              st.integers(1, 6000), st.integers(0, 255)),
+    st.tuples(st.just("append"), st.integers(0, 2), st.integers(1, 6000),
+              st.integers(0, 255)),
+    st.tuples(st.just("fsync"), st.integers(0, 2)),
+    st.tuples(st.just("truncate"), st.integers(0, 2), st.integers(0, 20000)),
+    st.tuples(st.just("rename"), st.integers(0, 2), st.integers(0, 2)),
+    st.tuples(st.just("unlink"), st.integers(0, 2)),
+)
+
+
+def apply_ops(fs, ops):
+    fds = {}
+
+    def fd_for(i):
+        path = FILES[i]
+        if i not in fds:
+            fds[i] = fs.open(path, F.O_CREAT | F.O_RDWR)
+        return fds[i]
+
+    for op in ops:
+        try:
+            if op[0] == "write":
+                _, i, off, size, fill = op
+                fs.pwrite(fd_for(i), bytes([fill]) * size, off)
+            elif op[0] == "append":
+                _, i, size, fill = op
+                fd = fd_for(i)
+                fs.pwrite(fd, bytes([fill]) * size, fs.fstat(fd).st_size)
+            elif op[0] == "fsync":
+                fs.fsync(fd_for(op[1]))
+            elif op[0] == "truncate":
+                fs.ftruncate(fd_for(op[1]), op[2])
+            elif op[0] == "rename":
+                _, src, dst = op
+                if src != dst:
+                    # close our handle bookkeeping: drop the fd mapping
+                    fds.pop(dst, None)
+                    fs.rename(FILES[src], FILES[dst])
+                    if src in fds:
+                        fds[dst] = fds.pop(src)
+            elif op[0] == "unlink":
+                i = op[1]
+                fds.pop(i, None)
+                fs.unlink(FILES[i])
+        except FSError:
+            pass  # invalid op in this state: both systems must agree (below)
+
+    # Final barrier: fsync + close everything so all state is comparable.
+    for i, fd in list(fds.items()):
+        try:
+            fs.fsync(fd)
+            fs.close(fd)
+        except FSError:
+            pass
+
+
+def visible_state(fs):
+    state = {}
+    for path in FILES:
+        if fs.exists(path):
+            state[path] = fs.read_file(path)
+    return state
+
+
+@given(ops=st.lists(op_st, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_splitfs_posix_state_equals_ext4(ops):
+    m1 = Machine(PM)
+    ext4 = Ext4DaxFS.format(m1)
+    apply_ops(ext4, ops)
+
+    m2 = Machine(PM)
+    sfs = SplitFS(Ext4DaxFS.format(m2), mode=Mode.POSIX)
+    apply_ops(sfs, ops)
+
+    assert visible_state(sfs) == visible_state(ext4)
+
+
+@given(ops=st.lists(op_st, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_all_splitfs_modes_agree(ops):
+    states = []
+    for mode in (Mode.POSIX, Mode.SYNC, Mode.STRICT):
+        m = Machine(PM)
+        fs = SplitFS(Ext4DaxFS.format(m), mode=mode)
+        apply_ops(fs, ops)
+        states.append(visible_state(fs))
+    assert states[0] == states[1] == states[2]
+
+
+@given(ops=st.lists(op_st, max_size=18))
+@settings(max_examples=30, deadline=None)
+def test_baselines_agree_with_ext4(ops):
+    from repro.nova.filesystem import NovaFS
+    from repro.pmfs.filesystem import PmfsFS
+    from repro.strata.filesystem import StrataFS
+
+    m1 = Machine(PM)
+    ext4 = Ext4DaxFS.format(m1)
+    apply_ops(ext4, ops)
+    expected = visible_state(ext4)
+
+    for build in (lambda m: PmfsFS.format(m),
+                  lambda m: NovaFS.format(m, strict=True),
+                  lambda m: NovaFS.format(m, strict=False),
+                  lambda m: StrataFS.format(m)):
+        m = Machine(PM)
+        fs = build(m)
+        apply_ops(fs, ops)
+        assert visible_state(fs) == expected

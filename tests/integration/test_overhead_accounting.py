@@ -1,0 +1,72 @@
+"""Invariants of the Section 5.7 software-overhead accounting."""
+
+import pytest
+
+from repro import make_filesystem
+from repro.pmem import constants as C
+from repro.posix import flags as F
+
+PM = 96 * 1024 * 1024
+
+
+class TestCategoryInvariants:
+    def test_total_is_sum_of_categories(self, any_fs):
+        machine = any_fs.machine if hasattr(any_fs, "machine") else None
+        fd = any_fs.open("/f", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"x" * 10_000)
+        any_fs.fsync(fd)
+        any_fs.pread(fd, 5_000, 0)
+        acct = (machine or any_fs).clock.account if machine else any_fs.clock.account
+        assert acct.total_ns == pytest.approx(
+            acct.data_ns + acct.meta_io_ns + acct.cpu_ns
+        )
+        assert acct.software_overhead_ns == pytest.approx(
+            acct.total_ns - acct.data_ns
+        )
+
+    def test_pure_data_write_cost_tracks_bytes(self, any_fs):
+        clock = any_fs.clock
+        fd = any_fs.open("/d", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"w" * 4096)  # warm up allocations/mappings
+        before = clock.account.snapshot()
+        any_fs.write(fd, b"w" * 4096)
+        delta = clock.account.delta_since(before)
+        # Every system moves exactly 4 KB of file data for this append
+        # (Strata writes it to its log — still DATA — once).
+        assert delta.data_ns == pytest.approx(C.PM_WRITE_4K_NS, rel=0.25)
+
+    def test_reads_charge_data_not_meta(self, any_fs):
+        fd = any_fs.open("/r", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"r" * 8192)
+        any_fs.fsync(fd)
+        any_fs.pread(fd, 4096, 0)  # warm
+        clock = any_fs.clock
+        before = clock.account.snapshot()
+        any_fs.pread(fd, 4096, 4096)
+        delta = clock.account.delta_since(before)
+        assert delta.data_ns > 0
+        assert delta.meta_io_ns == 0
+
+    def test_metadata_ops_charge_no_data_time(self, any_fs):
+        clock = any_fs.clock
+        before = clock.account.snapshot()
+        any_fs.mkdir("/meta-only")
+        any_fs.stat("/meta-only")
+        any_fs.listdir("/")
+        delta = clock.account.delta_since(before)
+        assert delta.data_ns == 0
+        assert delta.total_ns > 0
+
+
+class TestOverheadOrdering:
+    def test_splitfs_overhead_below_ext4_for_appends(self):
+        def overhead(system):
+            machine, fs = make_filesystem(system, pm_size=PM)
+            fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+            fs.write(fd, b"w" * 4096)
+            with machine.clock.measure() as acct:
+                for _ in range(32):
+                    fs.write(fd, b"w" * 4096)
+            return acct.software_overhead_ns
+
+        assert overhead("splitfs-posix") < overhead("ext4dax") / 3

@@ -1,0 +1,300 @@
+"""POSIX-behaviour conformance suite, run against every evaluated system.
+
+Each of the 8 file systems (ext4-DAX, PMFS, NOVA strict/relaxed, Strata,
+SplitFS in 3 modes) implements :class:`repro.posix.FileSystemAPI`; this suite
+pins the observable semantics they must share.
+"""
+
+import pytest
+
+from repro.posix import flags as F
+from repro.posix.errors import (
+    BadFileDescriptorError,
+    DirectoryNotEmptyFSError,
+    FileExistsFSError,
+    FileNotFoundFSError,
+    IsADirectoryFSError,
+    NotADirectoryFSError,
+    PermissionFSError,
+)
+
+
+class TestCreateOpenClose:
+    def test_create_and_reopen(self, any_fs):
+        fd = any_fs.open("/a", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"data")
+        any_fs.close(fd)
+        fd2 = any_fs.open("/a", F.O_RDONLY)
+        assert any_fs.read(fd2, 10) == b"data"
+        any_fs.close(fd2)
+
+    def test_open_missing_raises(self, any_fs):
+        with pytest.raises(FileNotFoundFSError):
+            any_fs.open("/missing", F.O_RDONLY)
+
+    def test_o_excl(self, any_fs):
+        any_fs.close(any_fs.open("/e", F.O_CREAT | F.O_RDWR))
+        with pytest.raises(FileExistsFSError):
+            any_fs.open("/e", F.O_CREAT | F.O_EXCL | F.O_RDWR)
+
+    def test_o_trunc_resets_size(self, any_fs):
+        fd = any_fs.open("/t", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"x" * 10000)
+        any_fs.fsync(fd)
+        any_fs.close(fd)
+        fd = any_fs.open("/t", F.O_RDWR | F.O_TRUNC)
+        assert any_fs.fstat(fd).st_size == 0
+        assert any_fs.read(fd, 100) == b""
+        any_fs.close(fd)
+
+    def test_bad_fd_operations(self, any_fs):
+        with pytest.raises(BadFileDescriptorError):
+            any_fs.read(424242, 1)
+        with pytest.raises(BadFileDescriptorError):
+            any_fs.close(424242)
+
+    def test_write_on_readonly_fd(self, any_fs):
+        any_fs.close(any_fs.open("/ro", F.O_CREAT | F.O_RDWR))
+        fd = any_fs.open("/ro", F.O_RDONLY)
+        with pytest.raises(PermissionFSError):
+            any_fs.write(fd, b"nope")
+        any_fs.close(fd)
+
+    def test_read_on_writeonly_fd(self, any_fs):
+        fd = any_fs.open("/wo", F.O_CREAT | F.O_WRONLY)
+        with pytest.raises(PermissionFSError):
+            any_fs.read(fd, 1)
+        any_fs.close(fd)
+
+
+class TestReadWrite:
+    def test_sequential_offset_advances(self, any_fs):
+        fd = any_fs.open("/s", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"abc")
+        any_fs.write(fd, b"def")
+        any_fs.lseek(fd, 0)
+        assert any_fs.read(fd, 6) == b"abcdef"
+        assert any_fs.read(fd, 6) == b""
+
+    def test_pread_pwrite_do_not_move_offset(self, any_fs):
+        fd = any_fs.open("/p", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"0123456789")
+        any_fs.pwrite(fd, b"XY", 2)
+        assert any_fs.pread(fd, 4, 1) == b"1XY4"
+        any_fs.write(fd, b"!")  # offset still at 10
+        assert any_fs.pread(fd, 11, 0) == b"01XY456789!"
+
+    def test_overwrite_in_middle(self, any_fs):
+        fd = any_fs.open("/m", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"A" * 8192)
+        any_fs.pwrite(fd, b"B" * 100, 4000)
+        data = any_fs.pread(fd, 8192, 0)
+        assert data[:4000] == b"A" * 4000
+        assert data[4000:4100] == b"B" * 100
+        assert data[4100:] == b"A" * 4092
+
+    def test_write_at_hole_offset(self, any_fs):
+        fd = any_fs.open("/h", F.O_CREAT | F.O_RDWR)
+        any_fs.pwrite(fd, b"tail", 10000)
+        assert any_fs.fstat(fd).st_size == 10004
+        data = any_fs.pread(fd, 10004, 0)
+        assert data[:10000] == b"\x00" * 10000
+        assert data[10000:] == b"tail"
+
+    def test_o_append_always_writes_at_eof(self, any_fs):
+        fd = any_fs.open("/ap", F.O_CREAT | F.O_RDWR | F.O_APPEND)
+        any_fs.write(fd, b"one")
+        any_fs.lseek(fd, 0)
+        any_fs.write(fd, b"two")
+        assert any_fs.pread(fd, 6, 0) == b"onetwo"
+
+    def test_read_past_eof_returns_empty(self, any_fs):
+        fd = any_fs.open("/eof", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"xy")
+        assert any_fs.pread(fd, 10, 2) == b""
+        assert any_fs.pread(fd, 10, 100) == b""
+
+    def test_short_read_at_eof(self, any_fs):
+        fd = any_fs.open("/short", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"hello")
+        assert any_fs.pread(fd, 100, 3) == b"lo"
+
+    def test_empty_write_is_noop(self, any_fs):
+        fd = any_fs.open("/z", F.O_CREAT | F.O_RDWR)
+        assert any_fs.write(fd, b"") == 0
+        assert any_fs.fstat(fd).st_size == 0
+
+    def test_large_unaligned_writes(self, any_fs):
+        fd = any_fs.open("/big", F.O_CREAT | F.O_RDWR)
+        blob = bytes(range(256)) * 37  # 9472 bytes, unaligned
+        for i in range(5):
+            any_fs.write(fd, blob)
+        any_fs.fsync(fd)
+        assert any_fs.fstat(fd).st_size == 5 * len(blob)
+        assert any_fs.pread(fd, len(blob), 2 * len(blob)) == blob
+
+    def test_lseek_whences(self, any_fs):
+        fd = any_fs.open("/lsk", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"0123456789")
+        assert any_fs.lseek(fd, 2, F.SEEK_SET) == 2
+        assert any_fs.lseek(fd, 3, F.SEEK_CUR) == 5
+        assert any_fs.lseek(fd, -1, F.SEEK_END) == 9
+        assert any_fs.read(fd, 5) == b"9"
+
+
+class TestFsyncDurability:
+    def test_fsync_then_read_back(self, any_fs):
+        fd = any_fs.open("/d", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"durable" * 1000)
+        any_fs.fsync(fd)
+        assert any_fs.pread(fd, 7, 0) == b"durable"
+
+    def test_multiple_fsyncs(self, any_fs):
+        fd = any_fs.open("/d2", F.O_CREAT | F.O_RDWR)
+        for i in range(5):
+            any_fs.write(fd, bytes([65 + i]) * 4096)
+            any_fs.fsync(fd)
+        assert any_fs.fstat(fd).st_size == 5 * 4096
+        assert any_fs.pread(fd, 4096, 3 * 4096) == b"D" * 4096
+
+    def test_fsync_with_nothing_dirty(self, any_fs):
+        fd = any_fs.open("/d3", F.O_CREAT | F.O_RDWR)
+        any_fs.fsync(fd)
+        any_fs.fsync(fd)
+
+
+class TestTruncate:
+    def test_shrink(self, any_fs):
+        fd = any_fs.open("/tr", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"q" * 10000)
+        any_fs.fsync(fd)
+        any_fs.ftruncate(fd, 100)
+        assert any_fs.fstat(fd).st_size == 100
+        assert any_fs.pread(fd, 1000, 0) == b"q" * 100
+
+    def test_grow_leaves_zeros(self, any_fs):
+        fd = any_fs.open("/tg", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"qq")
+        any_fs.ftruncate(fd, 10)
+        assert any_fs.fstat(fd).st_size == 10
+        assert any_fs.pread(fd, 10, 0) == b"qq" + b"\x00" * 8
+
+    def test_write_after_shrink(self, any_fs):
+        fd = any_fs.open("/tw", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"w" * 8192)
+        any_fs.fsync(fd)
+        any_fs.ftruncate(fd, 0)
+        any_fs.pwrite(fd, b"new", 0)
+        assert any_fs.fstat(fd).st_size == 3
+        assert any_fs.pread(fd, 10, 0) == b"new"
+
+
+class TestNamespace:
+    def test_mkdir_listdir(self, any_fs):
+        any_fs.mkdir("/dir")
+        any_fs.close(any_fs.open("/dir/f1", F.O_CREAT | F.O_RDWR))
+        any_fs.close(any_fs.open("/dir/f2", F.O_CREAT | F.O_RDWR))
+        assert any_fs.listdir("/dir") == ["f1", "f2"]
+
+    def test_nested_dirs(self, any_fs):
+        any_fs.mkdir("/a1")
+        any_fs.mkdir("/a1/b")
+        any_fs.close(any_fs.open("/a1/b/c", F.O_CREAT | F.O_RDWR))
+        assert any_fs.stat("/a1/b/c").st_size == 0
+        assert any_fs.listdir("/a1") == ["b"]
+
+    def test_mkdir_existing_raises(self, any_fs):
+        any_fs.mkdir("/dd")
+        with pytest.raises(FileExistsFSError):
+            any_fs.mkdir("/dd")
+
+    def test_rmdir(self, any_fs):
+        any_fs.mkdir("/rd")
+        any_fs.rmdir("/rd")
+        assert not any_fs.exists("/rd")
+
+    def test_rmdir_non_empty_raises(self, any_fs):
+        any_fs.mkdir("/ne")
+        any_fs.close(any_fs.open("/ne/x", F.O_CREAT | F.O_RDWR))
+        with pytest.raises(DirectoryNotEmptyFSError):
+            any_fs.rmdir("/ne")
+
+    def test_unlink(self, any_fs):
+        any_fs.close(any_fs.open("/u", F.O_CREAT | F.O_RDWR))
+        any_fs.unlink("/u")
+        assert not any_fs.exists("/u")
+        with pytest.raises(FileNotFoundFSError):
+            any_fs.unlink("/u")
+
+    def test_unlink_directory_raises(self, any_fs):
+        any_fs.mkdir("/ud")
+        with pytest.raises(IsADirectoryFSError):
+            any_fs.unlink("/ud")
+
+    def test_rename_same_dir(self, any_fs):
+        fd = any_fs.open("/old", F.O_CREAT | F.O_RDWR)
+        any_fs.write(fd, b"content")
+        any_fs.fsync(fd)
+        any_fs.close(fd)
+        any_fs.rename("/old", "/new")
+        assert not any_fs.exists("/old")
+        fd = any_fs.open("/new", F.O_RDONLY)
+        assert any_fs.read(fd, 7) == b"content"
+
+    def test_rename_replaces_target(self, any_fs):
+        any_fs.write_file("/src", b"SRC")
+        any_fs.write_file("/dst", b"DST")
+        any_fs.rename("/src", "/dst")
+        assert any_fs.read_file("/dst") == b"SRC"
+        assert not any_fs.exists("/src")
+
+    def test_rename_across_dirs(self, any_fs):
+        any_fs.mkdir("/from")
+        any_fs.mkdir("/to")
+        any_fs.write_file("/from/f", b"move me")
+        any_fs.rename("/from/f", "/to/g")
+        assert any_fs.read_file("/to/g") == b"move me"
+        assert any_fs.listdir("/from") == []
+
+    def test_stat_file_and_dir(self, any_fs):
+        any_fs.write_file("/sf", b"12345")
+        st = any_fs.stat("/sf")
+        assert st.st_size == 5
+        assert not st.is_dir
+        any_fs.mkdir("/sd")
+        assert any_fs.stat("/sd").is_dir
+
+    def test_stat_missing_raises(self, any_fs):
+        with pytest.raises(FileNotFoundFSError):
+            any_fs.stat("/nope")
+
+    def test_listdir_on_file_raises(self, any_fs):
+        any_fs.write_file("/plain", b"")
+        with pytest.raises(NotADirectoryFSError):
+            any_fs.listdir("/plain")
+
+    def test_path_through_file_raises(self, any_fs):
+        any_fs.write_file("/pf", b"")
+        with pytest.raises((NotADirectoryFSError, FileNotFoundFSError)):
+            any_fs.open("/pf/child", F.O_CREAT | F.O_RDWR)
+
+
+class TestManyFiles:
+    def test_hundred_small_files(self, any_fs):
+        any_fs.mkdir("/many")
+        for i in range(100):
+            any_fs.write_file(f"/many/f{i:03d}", f"payload-{i}".encode())
+        names = any_fs.listdir("/many")
+        assert len(names) == 100
+        assert any_fs.read_file("/many/f057") == b"payload-57"
+
+    def test_create_delete_cycles(self, any_fs):
+        for cycle in range(5):
+            for i in range(20):
+                any_fs.write_file(f"/c{i}", bytes([cycle]) * 64)
+            for i in range(0, 20, 2):
+                any_fs.unlink(f"/c{i}")
+            for i in range(0, 20, 2):
+                any_fs.write_file(f"/c{i}", bytes([cycle + 100]) * 64)
+        assert any_fs.read_file("/c4") == bytes([104]) * 64
+        assert any_fs.read_file("/c5") == bytes([4]) * 64

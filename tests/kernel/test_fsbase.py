@@ -1,0 +1,71 @@
+"""Unit tests for shared kernel FS plumbing."""
+
+import pytest
+
+from repro.kernel.fsbase import FDTable, OpenFile, new_offset
+from repro.posix import flags as F
+from repro.posix.errors import BadFileDescriptorError, InvalidArgumentFSError
+
+
+class TestFDTable:
+    def test_install_and_get(self):
+        t = FDTable()
+        of = t.install(ino=5, flags=F.O_RDWR, path="/x")
+        assert t.get(of.fd) is of
+        assert of.fd >= 3
+
+    def test_fds_are_unique(self):
+        t = FDTable()
+        fds = {t.install(1, 0).fd for _ in range(100)}
+        assert len(fds) == 100
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(BadFileDescriptorError):
+            FDTable().get(99)
+
+    def test_remove(self):
+        t = FDTable()
+        of = t.install(1, 0)
+        t.remove(of.fd)
+        with pytest.raises(BadFileDescriptorError):
+            t.get(of.fd)
+
+    def test_open_count_per_inode(self):
+        t = FDTable()
+        t.install(7, 0)
+        b = t.install(7, 0)
+        t.install(8, 0)
+        assert t.open_count(7) == 2
+        t.remove(b.fd)
+        assert t.open_count(7) == 1
+
+    def test_len(self):
+        t = FDTable()
+        t.install(1, 0)
+        t.install(2, 0)
+        assert len(t) == 2
+
+
+class TestLseekMath:
+    def make(self, offset=0):
+        return OpenFile(fd=3, ino=1, flags=F.O_RDWR, offset=offset)
+
+    def test_seek_set(self):
+        assert new_offset(self.make(), 100, 10, F.SEEK_SET) == 10
+
+    def test_seek_cur(self):
+        assert new_offset(self.make(offset=50), 100, 10, F.SEEK_CUR) == 60
+
+    def test_seek_end(self):
+        assert new_offset(self.make(), 100, -10, F.SEEK_END) == 90
+
+    def test_seek_past_end_allowed(self):
+        assert new_offset(self.make(), 100, 500, F.SEEK_SET) == 500
+
+    def test_negative_result_rejected(self):
+        with pytest.raises(InvalidArgumentFSError):
+            new_offset(self.make(), 100, -1, F.SEEK_SET)
+
+    def test_bad_whence(self):
+        with pytest.raises(InvalidArgumentFSError):
+            new_offset(self.make(), 100, 0, 9)

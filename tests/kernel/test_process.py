@@ -1,0 +1,46 @@
+"""Process model and shared-memory store tests."""
+
+from repro.kernel.process import Process, SharedMemoryStore
+
+
+class TestProcess:
+    def test_pids_unique(self):
+        pids = {Process().pid for _ in range(50)}
+        assert len(pids) == 50
+
+    def test_fork_links_parent(self):
+        p = Process()
+        c = p.fork()
+        assert c.parent is p
+        assert c.pid != p.pid
+
+    def test_explicit_pid(self):
+        assert Process(pid=7).pid == 7
+
+    def test_repr(self):
+        assert "pid=" in repr(Process(pid=3))
+
+
+class TestSharedMemoryStore:
+    def test_write_read_remove(self):
+        shm = SharedMemoryStore()
+        shm.write("100", b"state")
+        assert shm.read("100") == b"state"
+        shm.remove("100")
+        assert shm.read("100") is None
+
+    def test_remove_missing_is_noop(self):
+        SharedMemoryStore().remove("nope")
+
+    def test_crash_clears_everything(self):
+        shm = SharedMemoryStore()
+        shm.write("a", b"1")
+        shm.write("b", b"2")
+        shm.crash()
+        assert shm.read("a") is None and shm.read("b") is None
+
+    def test_overwrite(self):
+        shm = SharedMemoryStore()
+        shm.write("k", b"old")
+        shm.write("k", b"new")
+        assert shm.read("k") == b"new"

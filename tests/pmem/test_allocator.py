@@ -1,0 +1,144 @@
+"""Unit tests for the extent allocator."""
+
+import pytest
+
+from repro.pmem.allocator import Extent, ExtentAllocator, OutOfSpaceError
+from repro.pmem.timing import SimClock
+
+
+@pytest.fixture
+def alloc():
+    return ExtentAllocator(1024, clock=SimClock(), first_block=100)
+
+
+class TestAlloc:
+    def test_simple_alloc(self, alloc):
+        exts = alloc.alloc(10)
+        assert exts == [Extent(100, 10)]
+        assert alloc.free_blocks == 1014
+
+    def test_sequential_allocs_are_adjacent(self, alloc):
+        a = alloc.alloc(4)[0]
+        b = alloc.alloc(4)[0]
+        assert b.start == a.end
+
+    def test_zero_alloc_rejected(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.alloc(0)
+
+    def test_out_of_space(self, alloc):
+        with pytest.raises(OutOfSpaceError):
+            alloc.alloc(2000)
+
+    def test_exhaust_exactly(self, alloc):
+        alloc.alloc(1024)
+        assert alloc.free_blocks == 0
+        with pytest.raises(OutOfSpaceError):
+            alloc.alloc(1)
+
+    def test_fragmented_alloc_returns_multiple_extents(self, alloc):
+        a = alloc.alloc(10)
+        b = alloc.alloc(10)
+        c = alloc.alloc(10)
+        alloc.free(a)
+        alloc.free(c)  # free list: [100..110) [120..130) [130+...]
+        # Request more than any single leading fragment:
+        exts = alloc.alloc(1004)
+        assert sum(e.length for e in exts) == 1004
+
+    def test_contiguous_flag_fails_when_fragmented(self):
+        alloc = ExtentAllocator(30, clock=SimClock())
+        keep = alloc.alloc(10)
+        middle = alloc.alloc(10)
+        tail = alloc.alloc(10)
+        alloc.free(keep)
+        alloc.free(tail)
+        with pytest.raises(OutOfSpaceError):
+            alloc.alloc(15, contiguous=True)
+
+    def test_alloc_charges_cpu(self):
+        clock = SimClock()
+        alloc = ExtentAllocator(100, clock=clock)
+        alloc.alloc(1)
+        assert clock.now_ns > 0
+
+
+class TestFree:
+    def test_free_and_reuse(self, alloc):
+        a = alloc.alloc(10)
+        alloc.free(a)
+        assert alloc.free_blocks == 1024
+        b = alloc.alloc(10)
+        assert b == a
+
+    def test_coalescing(self, alloc):
+        a = alloc.alloc(10)
+        b = alloc.alloc(10)
+        c = alloc.alloc(10)
+        alloc.free(a)
+        alloc.free(c)
+        alloc.free(b)  # must merge all three with the tail
+        assert alloc.largest_free_extent() == 1024
+
+    def test_double_free_detected(self, alloc):
+        a = alloc.alloc(10)
+        alloc.free(a)
+        with pytest.raises(ValueError):
+            alloc.free(a)
+
+    def test_free_outside_range_rejected(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.free([Extent(0, 5)])
+
+    def test_free_empty_extent_ignored(self, alloc):
+        alloc.free([Extent(100, 0)])
+        assert alloc.free_blocks == 1024
+
+
+class TestAligned:
+    def test_aligned_alloc(self):
+        alloc = ExtentAllocator(2048, clock=SimClock(), first_block=3)
+        ext = alloc.alloc_aligned(512, align=512)
+        assert ext is not None
+        assert ext.start % 512 == 0
+
+    def test_alignment_failure_returns_none(self):
+        alloc = ExtentAllocator(600, clock=SimClock(), first_block=3)
+        assert alloc.alloc_aligned(512, align=512) is None
+
+    def test_unaligned_head_still_allocatable(self):
+        alloc = ExtentAllocator(2048, clock=SimClock(), first_block=3)
+        ext = alloc.alloc_aligned(512, align=512)
+        # The unaligned head [3, 512) must remain on the free list.
+        head = alloc.alloc(509, contiguous=True)
+        assert head[0].start == 3
+
+
+class TestReserve:
+    def test_reserve_specific_range(self, alloc):
+        alloc.reserve(200, 50)
+        assert alloc.free_blocks == 974
+        exts = alloc.alloc(100, contiguous=True)
+        assert exts[0].start == 100  # carved before the reservation
+
+    def test_reserve_overlap_rejected(self, alloc):
+        alloc.reserve(200, 50)
+        with pytest.raises(ValueError):
+            alloc.reserve(220, 10)
+
+    def test_reserve_then_free_round_trip(self, alloc):
+        alloc.reserve(500, 10)
+        alloc.free([Extent(500, 10)])
+        assert alloc.free_blocks == 1024
+        assert alloc.largest_free_extent() == 1024
+
+
+class TestFragmentationMetric:
+    def test_unfragmented_is_zero(self, alloc):
+        assert alloc.fragmentation() == 0.0
+
+    def test_fragmentation_grows_with_holes(self, alloc):
+        extents = [alloc.alloc(8) for _ in range(64)]
+        for e in extents[::2]:
+            alloc.free(e)
+        assert alloc.fragmentation() > 0.3

@@ -1,0 +1,92 @@
+"""Property-based tests for the extent allocator (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.pmem.allocator import ExtentAllocator, OutOfSpaceError
+
+TOTAL = 512
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Random alloc/free sequences must never corrupt the free list."""
+
+    def __init__(self):
+        super().__init__()
+        self.alloc = ExtentAllocator(TOTAL, first_block=7)
+        self.live = []  # extents we hold
+
+    @rule(n=st.integers(min_value=1, max_value=64))
+    def do_alloc(self, n):
+        try:
+            exts = self.alloc.alloc(n)
+        except OutOfSpaceError:
+            assert self.alloc.free_blocks < n
+            return
+        assert sum(e.length for e in exts) == n
+        self.live.extend(exts)
+
+    @rule(idx=st.integers(min_value=0, max_value=10_000))
+    def do_free(self, idx):
+        if not self.live:
+            return
+        ext = self.live.pop(idx % len(self.live))
+        self.alloc.free([ext])
+
+    @invariant()
+    def accounting_is_consistent(self):
+        held = sum(e.length for e in self.live)
+        assert self.alloc.free_blocks + held == TOTAL
+        assert self.alloc.used_blocks == held
+
+    @invariant()
+    def no_overlap_between_live_extents(self):
+        spans = sorted((e.start, e.end) for e in self.live)
+        for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    @invariant()
+    def free_list_within_bounds(self):
+        for e in self.alloc._free:
+            assert 7 <= e.start and e.end <= 7 + TOTAL
+
+
+TestAllocatorStateMachine = AllocatorMachine.TestCase
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=30)
+)
+@settings(max_examples=50)
+def test_alloc_free_all_restores_everything(sizes):
+    alloc = ExtentAllocator(2048)
+    held = []
+    for n in sizes:
+        held.extend(alloc.alloc(n))
+    alloc.free(held)
+    assert alloc.free_blocks == 2048
+    assert alloc.largest_free_extent() == 2048
+    assert alloc.fragmentation() == 0.0
+
+
+@given(
+    reserves=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=1, max_value=48),
+        ),
+        max_size=12,
+    )
+)
+@settings(max_examples=50)
+def test_reserve_never_double_books(reserves):
+    alloc = ExtentAllocator(1100)
+    booked = []
+    for start, length in reserves:
+        overlaps = any(s < start + length and start < s + l for s, l in booked)
+        if overlaps:
+            continue
+        alloc.reserve(start, length)
+        booked.append((start, length))
+    assert alloc.free_blocks == 1100 - sum(l for _, l in booked)

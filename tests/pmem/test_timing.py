@@ -1,0 +1,96 @@
+"""Unit tests for the simulated clock and time accounting."""
+
+import pytest
+
+from repro.pmem.timing import Category, SimClock, TimeAccount, format_ns
+
+
+class TestTimeAccount:
+    def test_starts_at_zero(self):
+        acct = TimeAccount()
+        assert acct.total_ns == 0
+        assert acct.software_overhead_ns == 0
+
+    def test_charges_by_category(self):
+        acct = TimeAccount()
+        acct.charge(100, Category.DATA)
+        acct.charge(40, Category.META_IO)
+        acct.charge(60, Category.CPU)
+        assert acct.data_ns == 100
+        assert acct.meta_io_ns == 40
+        assert acct.cpu_ns == 60
+        assert acct.total_ns == 200
+
+    def test_software_overhead_is_total_minus_data(self):
+        """The paper's Section 5.7 definition."""
+        acct = TimeAccount()
+        acct.charge(671, Category.DATA)
+        acct.charge(8331, Category.CPU)
+        assert acct.software_overhead_ns == pytest.approx(8331)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            TimeAccount().charge(-1, Category.CPU)
+
+    def test_delta_since(self):
+        acct = TimeAccount()
+        acct.charge(10, Category.DATA)
+        snap = acct.snapshot()
+        acct.charge(5, Category.CPU)
+        delta = acct.delta_since(snap)
+        assert delta.data_ns == 0
+        assert delta.cpu_ns == 5
+
+    def test_merged_with(self):
+        a = TimeAccount(data_ns=1, meta_io_ns=2, cpu_ns=3)
+        b = TimeAccount(data_ns=10, meta_io_ns=20, cpu_ns=30)
+        merged = a.merged_with(b)
+        assert merged.total_ns == 66
+
+    def test_as_dict_round_trip(self):
+        acct = TimeAccount(data_ns=5.0)
+        d = acct.as_dict()
+        assert d["data_ns"] == 5.0
+        assert d["software_overhead_ns"] == 0.0
+
+
+class TestSimClock:
+    def test_monotonic(self):
+        clock = SimClock()
+        clock.charge(100, Category.DATA)
+        t1 = clock.now_ns
+        clock.charge(1, Category.CPU)
+        assert clock.now_ns > t1
+
+    def test_measure_scope_captures_only_inner_charges(self):
+        clock = SimClock()
+        clock.charge(100, Category.CPU)
+        with clock.measure() as acct:
+            clock.charge(50, Category.DATA)
+        clock.charge(25, Category.CPU)
+        assert acct.total_ns == 50
+        assert acct.data_ns == 50
+        assert clock.now_ns == 175
+
+    def test_nested_scopes(self):
+        clock = SimClock()
+        with clock.measure() as outer:
+            clock.charge(10, Category.CPU)
+            with clock.measure() as inner:
+                clock.charge(5, Category.CPU)
+        assert inner.total_ns == 5
+        assert outer.total_ns == 15
+
+
+class TestFormatNs:
+    @pytest.mark.parametrize(
+        "ns,expected",
+        [
+            (5, "5ns"),
+            (1500, "1.50us"),
+            (2_500_000, "2.50ms"),
+            (3_000_000_000, "3.00s"),
+        ],
+    )
+    def test_units(self, ns, expected):
+        assert format_ns(ns) == expected

@@ -1,0 +1,174 @@
+"""Strata-specific behaviour: private log, digest, write amplification."""
+
+import pytest
+
+from repro.kernel.machine import Machine
+from repro.pmem.constants import BLOCK_SIZE
+from repro.posix import flags as F
+from repro.posix.errors import NoSpaceFSError
+from repro.strata import log as L
+from repro.strata.filesystem import StrataConfig, StrataFS
+
+PM = 96 * 1024 * 1024
+
+
+@pytest.fixture
+def fs():
+    return StrataFS.format(Machine(PM))
+
+
+class TestRecordCodec:
+    def test_write_record_round_trip(self):
+        rec = L.Record(L.T_WRITE, ino=5, offset=4096, size=100)
+        raw = L.encode(rec, b"x" * 100)
+        parsed, payload_len = L.decode_header(raw[:64])
+        assert parsed == rec
+        assert payload_len == 128  # 100 rounded to cache lines
+        assert L.verify(raw[:64], b"x" * 100)
+
+    def test_crc_rejects_corrupt_payload(self):
+        rec = L.Record(L.T_WRITE, ino=5, offset=0, size=64)
+        raw = L.encode(rec, b"y" * 64)
+        assert not L.verify(raw[:64], b"z" * 64)
+
+    def test_namespace_record_round_trip(self):
+        rec = L.Record(L.T_CREATE, ino=9, parent=1, name="db.sst")
+        raw = L.encode(rec)
+        parsed, payload_len = L.decode_header(raw)
+        assert parsed == rec and payload_len == 0
+
+    def test_garbage_header_rejected(self):
+        assert L.decode_header(b"\xff" * 64) is None
+        assert L.decode_header(b"\x00" * 64) is None
+
+    def test_name_limit(self):
+        with pytest.raises(ValueError):
+            L.encode(L.Record(L.T_CREATE, name="n" * (L.MAX_STRATA_NAME + 1)))
+
+
+class TestLogDataPath:
+    def test_write_is_one_fence(self, fs):
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        before = fs.pm.stats.fences
+        fs.write(fd, b"w" * 1000)
+        assert fs.pm.stats.fences - before == 1
+
+    def test_reads_see_undigested_data(self, fs):
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"abc")
+        fs.pwrite(fd, b"B", 1)
+        assert fs.pread(fd, 3, 0) == b"aBc"
+        assert fs.digests == 0
+
+    def test_overlapping_writes_latest_wins(self, fs):
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"1" * 1000)
+        fs.pwrite(fd, b"2" * 500, 250)
+        fs.pwrite(fd, b"3" * 100, 400)
+        data = fs.pread(fd, 1000, 0)
+        assert data == b"1" * 250 + b"2" * 150 + b"3" * 100 + b"2" * 250 + b"1" * 250
+
+
+class TestDigest:
+    def test_append_workload_writes_data_twice(self, fs):
+        """The paper's Section 2.3 claim: up to 2x write amplification."""
+        fd = fs.open("/a", F.O_CREAT | F.O_RDWR)
+        total = 0
+        for i in range(32):
+            fs.write(fd, bytes([i]) * BLOCK_SIZE)
+            total += BLOCK_SIZE
+        fs.digest()
+        amplification = fs.pm.stats.data_bytes_written / total
+        assert amplification == pytest.approx(2.0, rel=0.1)
+
+    def test_coalescing_reduces_digest_io(self, fs):
+        """Overwrites of the same range coalesce: digest writes them once."""
+        fd = fs.open("/c", F.O_CREAT | F.O_RDWR)
+        for _ in range(16):
+            fs.pwrite(fd, b"v" * BLOCK_SIZE, 0)  # same block, 16 times
+        before = fs.pm.stats.data_bytes_written
+        fs.digest()
+        digest_io = fs.pm.stats.data_bytes_written - before
+        assert digest_io == BLOCK_SIZE  # one block, not sixteen
+
+    def test_data_correct_after_digest(self, fs):
+        fd = fs.open("/d", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"base" * 1024)
+        fs.pwrite(fd, b"PATCH", 100)
+        fs.digest()
+        data = fs.pread(fd, 4096, 0)
+        assert data[100:105] == b"PATCH"
+        assert fs.overlay == {}
+
+    def test_log_fills_trigger_automatic_digest(self):
+        m = Machine(PM)
+        fs = StrataFS.format(m, StrataConfig(log_blocks=64))  # 256 KB log
+        fd = fs.open("/auto", F.O_CREAT | F.O_RDWR)
+        for i in range(128):
+            fs.write(fd, bytes([i % 250]) * BLOCK_SIZE)
+        assert fs.digests >= 1
+        assert fs.pread(fd, BLOCK_SIZE, 100 * BLOCK_SIZE) == bytes([100]) * BLOCK_SIZE
+
+    def test_oversized_write_rejected(self):
+        m = Machine(PM)
+        fs = StrataFS.format(m, StrataConfig(log_blocks=16))
+        fd = fs.open("/big", F.O_CREAT | F.O_RDWR)
+        with pytest.raises(NoSpaceFSError):
+            fs.write(fd, b"x" * (20 * BLOCK_SIZE))
+
+
+class TestCrashReplay:
+    def test_undigested_log_replayed_at_mount(self, fs):
+        fd = fs.open("/r", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"logged" * 100)
+        m = fs.machine
+        m.crash()
+        fs2 = StrataFS.mount(m)
+        fd = fs2.open("/r", F.O_RDONLY)
+        assert fs2.pread(fd, 6, 0) == b"logged"
+        assert fs2.fstat(fd).st_size == 600
+
+    def test_torn_tail_record_discarded(self, fs):
+        fd = fs.open("/t", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"good" * 16)
+        # Append a record without fencing it: lost at crash.
+        fs.pm.store(fs._log_addr(fs.log_tail),
+                    L.encode(L.Record(L.T_WRITE, ino=99, offset=0, size=64),
+                             b"bad!" * 16))
+        m = fs.machine
+        m.crash()
+        fs2 = StrataFS.mount(m)
+        assert fs2.exists("/t")
+        fd = fs2.open("/t", F.O_RDONLY)
+        assert fs2.pread(fd, 4, 0) == b"good"
+
+    def test_crash_after_digest(self, fs):
+        fd = fs.open("/ad", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"D" * (8 * BLOCK_SIZE))
+        fs.digest()
+        fs.write(fd, b"E" * BLOCK_SIZE)  # post-digest log record
+        m = fs.machine
+        m.crash()
+        fs2 = StrataFS.mount(m)
+        fd = fs2.open("/ad", F.O_RDONLY)
+        assert fs2.fstat(fd).st_size == 9 * BLOCK_SIZE
+        assert fs2.pread(fd, 4, 8 * BLOCK_SIZE) == b"EEEE"
+
+    def test_namespace_ops_replayed(self, fs):
+        fs.mkdir("/dir")
+        fs.write_file("/dir/a", b"1")
+        fs.rename("/dir/a", "/dir/b")
+        m = fs.machine
+        m.crash()
+        fs2 = StrataFS.mount(m)
+        assert fs2.listdir("/dir") == ["b"]
+        assert fs2.read_file("/dir/b") == b"1"
+
+
+class TestVisibility:
+    def test_fsync_is_noop_cheap(self, fs):
+        fd = fs.open("/v", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"x" * BLOCK_SIZE)
+        before = fs.clock.now_ns
+        fs.fsync(fd)
+        assert fs.clock.now_ns - before < 300
