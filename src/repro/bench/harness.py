@@ -85,7 +85,15 @@ def measure(
     with machine.clock.measure() as account:
         ops = body(fs, ctx)
     io = machine.pm.stats.delta_since(io_before)
-    return Measurement(system, workload_name, ops, account.snapshot(), io)
+    extras = {
+        # Cache lines still volatile when the workload finished: data a
+        # crash at this instant would lose (crash-consistency exposure).
+        "unpersisted_lines": float(machine.pm.unpersisted_lines),
+        "fences": float(io.fences),
+        "clwb_lines": float(io.clwb_lines),
+    }
+    return Measurement(system, workload_name, ops, account.snapshot(), io,
+                       extras=extras)
 
 
 # ---------------------------------------------------------------------------

@@ -38,6 +38,29 @@ def render_bar_figure(title: str, groups: Dict[str, Dict[str, float]],
     return "\n".join(lines)
 
 
+def render_persistence_summary(measurements: Iterable) -> str:
+    """Per-measurement persistence-traffic table.
+
+    Surfaces the crash-consistency-relevant counters every measurement now
+    carries in ``extras``: fences issued, cache lines written back, and the
+    lines still volatile when the workload finished (data a crash at that
+    instant would lose).
+    """
+    rows = []
+    for m in measurements:
+        rows.append([
+            m.system,
+            m.workload,
+            f"{m.extras.get('fences', 0):.0f}",
+            f"{m.extras.get('clwb_lines', 0):.0f}",
+            f"{m.extras.get('unpersisted_lines', 0):.0f}",
+        ])
+    return render_table(
+        "Persistence traffic (per measured workload)",
+        ["system", "workload", "fences", "clwb lines", "unpersisted lines"],
+        rows)
+
+
 def fmt_us(ns: float) -> str:
     return f"{ns / 1000:.2f}"
 

@@ -22,7 +22,7 @@ from .bench import (
     syscall_latency_workload,
     ycsb_workload,
 )
-from .bench.report import render_table
+from .bench.report import render_persistence_summary, render_table
 from .factory import GUARANTEE_GROUPS, SYSTEM_NAMES
 from .pmem.constants import PM_WRITE_4K_NS
 
@@ -38,15 +38,20 @@ def cmd_systems(_args: argparse.Namespace) -> int:
 
 def cmd_table1(args: argparse.Namespace) -> int:
     rows = []
+    measurements = []
     for system in ("ext4dax", "pmfs", "nova-strict", "splitfs-strict",
                    "splitfs-posix"):
         m = append_4k_workload(system, total_bytes=args.total_mb << 20)
+        measurements.append(m)
         overhead = m.ns_per_op - PM_WRITE_4K_NS
         rows.append([system, f"{m.ns_per_op:.0f}", f"{overhead:.0f}",
                      f"{overhead / PM_WRITE_4K_NS * 100:.0f}%"])
     print(render_table(
         "Table 1: 4K append software overhead (671 ns = raw PM write)",
         ["file system", "append ns/op", "overhead ns", "overhead %"], rows))
+    if args.persistence:
+        print()
+        print(render_persistence_summary(measurements))
     return 0
 
 
@@ -88,6 +93,28 @@ def cmd_ycsb(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_crashmc(args: argparse.Namespace) -> int:
+    from .crashmc import emit_reproducer, explore, minimize
+
+    kinds = list(SYSTEM_NAMES) if "all" in args.fs else args.fs
+    pm_size = args.pm_mb << 20
+    failed = False
+    for kind in kinds:
+        report = explore(kind, nops=args.ops, seed=args.seed,
+                         pm_size=pm_size, intra=args.intra,
+                         max_states=args.max_states)
+        print(report.format())
+        if report.ok:
+            continue
+        failed = True
+        if args.minimize:
+            small = minimize(kind, report.ops, seed=args.seed,
+                             pm_size=pm_size, intra=args.intra)
+            print(f"  minimized to {len(small.ops)} op(s); reproducer:")
+            print(emit_reproducer(small, pm_size=pm_size, intra=args.intra))
+    return 1 if failed else 0
+
+
 def cmd_crashdemo(_args: argparse.Namespace) -> int:
     from .core import Mode, SplitFS, recover
     from .ext4.filesystem import Ext4DaxFS
@@ -115,6 +142,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="Table 1: 4K append overhead")
     p.add_argument("--total-mb", type=int, default=8)
+    p.add_argument("--persistence", action="store_true",
+                   help="also print fence/writeback/unpersisted-line counts")
 
     p = sub.add_parser("syscalls", help="Table 6: syscall latencies")
     p.add_argument("--system", action="append", choices=SYSTEM_NAMES)
@@ -130,6 +159,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--records", type=int, default=1000)
     p.add_argument("--ops", type=int, default=1500)
 
+    p = sub.add_parser(
+        "crashmc", help="enumerate and check crash states (crashmc)")
+    p.add_argument("--fs", action="append", required=True,
+                   choices=list(SYSTEM_NAMES) + ["all"],
+                   help="file system kind to explore (repeatable, or 'all')")
+    p.add_argument("--ops", type=int, default=12,
+                   help="workload length (generated from --seed)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--intra", type=int, default=0,
+                   help="sampled intra-epoch crash states on top of the "
+                        "exhaustive fence-boundary enumeration")
+    p.add_argument("--pm-mb", type=int, default=96)
+    p.add_argument("--max-states", type=int, default=None,
+                   help="bound total states explored (smoke runs)")
+    p.add_argument("--minimize", action="store_true",
+                   help="on violation, ddmin the workload and print a "
+                        "standalone reproducer script")
+
     sub.add_parser("crashdemo", help="Table 3 crash semantics, live")
     return parser
 
@@ -140,6 +187,7 @@ _COMMANDS = {
     "syscalls": cmd_syscalls,
     "iopatterns": cmd_iopatterns,
     "ycsb": cmd_ycsb,
+    "crashmc": cmd_crashmc,
     "crashdemo": cmd_crashdemo,
 }
 

@@ -82,13 +82,19 @@ def recover(machine: Machine, strict: bool = True) -> Tuple[Ext4DaxFS, RecoveryR
     if not strict:
         return kfs, report
     start = machine.clock.now_ns
+    logs = []
     for _, base, size in find_oplogs(kfs):
         log = OperationLog(machine.pm, base, size)
         entries = log.scan()
         report.entries_scanned += len(entries)
         _replay(kfs, entries, report)
-        log.initialize()  # zero for reuse
+        logs.append(log)
+    # The replayed state must be durably committed *before* the logs are
+    # zeroed: a crash between the two steps must still find replayable
+    # entries (replay is idempotent, so re-running them is safe).
     kfs.sync()
+    for log in logs:
+        log.initialize()  # zero for reuse
     report.replay_time_ns = machine.clock.now_ns - start
     return kfs, report
 

@@ -481,10 +481,17 @@ class SplitFS(FileSystemAPI):
         committed = self._committed_size(ufile)
         end = offset + len(data)
         if offset < committed and end > committed:
-            # Straddles EOF: split into overwrite + append parts.
-            head = committed - offset
-            self._write_overwrite(ufile, data[:head], offset)
-            self._write_beyond(ufile, data[head:], committed)
+            if self.mode.stages_overwrites and self.config.use_staging:
+                # Strict mode: an EOF-straddling write must stay atomic, so
+                # it becomes one staged run with one log entry — splitting
+                # it would let a crash between the two entries persist only
+                # half the operation.
+                self._stage_data(ufile, data, offset, op=OP_OVERWRITE)
+            else:
+                # Straddles EOF: split into overwrite + append parts.
+                head = committed - offset
+                self._write_overwrite(ufile, data[:head], offset)
+                self._write_beyond(ufile, data[head:], committed)
         elif offset >= committed:
             self._write_beyond(ufile, data, offset)
         else:

@@ -1,0 +1,41 @@
+"""repro.crashmc: systematic crash-state enumeration and fault injection.
+
+The crash-model checker for the whole reproduction.  It records the
+persistence trace (stores / clwb / fences) of a workload, enumerates every
+fence-epoch crash state — plus sampled intra-epoch states with surviving
+and torn cache lines — remounts each state through the file system's own
+recovery path, and checks the exact Table-3 guarantees of the kind under
+test.  Failing workloads are auto-minimised to a standalone reproducer.
+
+Entry points: :func:`explore`, :func:`minimize`, and the ``repro crashmc``
+CLI subcommand.
+"""
+
+from .explorer import ExplorationReport, Violation, explore, record_trace
+from .minimize import emit_reproducer, minimize
+from .oracles import KIND_PROPS, KindProps, check_state
+from .systems import fresh, remount
+from .trace import CrashTrigger, CrashTriggered, PersistenceTracer, Trace
+from .workload import Op, Shadow, generate_workload, run_workload
+
+__all__ = [
+    "ExplorationReport",
+    "Violation",
+    "explore",
+    "record_trace",
+    "minimize",
+    "emit_reproducer",
+    "KIND_PROPS",
+    "KindProps",
+    "check_state",
+    "fresh",
+    "remount",
+    "CrashTrigger",
+    "CrashTriggered",
+    "PersistenceTracer",
+    "Trace",
+    "Op",
+    "Shadow",
+    "generate_workload",
+    "run_workload",
+]

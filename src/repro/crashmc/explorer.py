@@ -1,0 +1,205 @@
+"""Systematic crash-state enumeration.
+
+The explorer runs a workload three ways:
+
+1. **Record** — one crash-free pass with a
+   :class:`~repro.crashmc.trace.PersistenceTracer` attached, yielding the
+   fence/epoch structure (how many crash points exist).
+2. **Enumerate** — for every fence ``k`` the workload is replayed on a
+   fresh machine with a :class:`~repro.crashmc.trace.CrashTrigger` that
+   stops the world just before fence ``k`` drains.  A deterministic crash
+   (drop all unpersisted lines) is applied, the file system is remounted
+   through its own recovery path, and the per-kind oracle checks the state.
+3. **Sample** (``intra > 0``) — additionally, intra-epoch states: crash
+   just before a chosen store, under a seeded probabilistic policy where
+   unfenced lines may survive and tear at 8-byte granularity.
+
+Everything is pure in ``(kind, ops/seed, pm_size, intra)``: two runs with
+the same inputs explore bit-for-bit identical states and produce identical
+reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..pmem.cache import CrashPolicy
+from .oracles import KIND_PROPS, check_state
+from .systems import fresh, remount
+from .trace import CrashTrigger, PersistenceTracer, Trace
+from .workload import Op, Shadow, generate_workload, run_workload
+
+DEFAULT_PM_SIZE = 96 * 1024 * 1024
+
+
+@dataclass
+class Violation:
+    """One oracle failure at one crash state."""
+
+    kind: str
+    state: str  # e.g. "fence 17" or "epoch 4 store 2 (policy seed 99)"
+    inflight: Optional[str]  # description of the op cut short, if any
+    messages: List[str]
+
+    def describe(self) -> str:
+        where = f"crash at {self.state}"
+        if self.inflight is not None:
+            where += f" during {self.inflight}"
+        return where + ": " + "; ".join(self.messages)
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of exploring every enumerated crash state of one workload."""
+
+    kind: str
+    seed: int
+    ops: List[Op]
+    trace: Trace = field(default_factory=Trace)
+    states_explored: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format(self) -> str:
+        lines = [
+            f"crashmc: {self.kind}  seed={self.seed}  ops={len(self.ops)}",
+            f"  trace: {self.trace.fences} fences, {self.trace.stores} stores, "
+            f"{self.trace.clwbs} clwb lines",
+            f"  states explored: {self.states_explored}",
+            f"  violations found: {len(self.violations)}",
+        ]
+        for v in self.violations:
+            lines.append(f"  VIOLATION {v.describe()}")
+        return "\n".join(lines)
+
+
+def _replay_until(kind: str, ops: List[Op], pm_size: int, seed: int,
+                  trigger: CrashTrigger):
+    """Run the workload on a fresh machine until ``trigger`` fires.
+
+    Returns ``(machine, shadow, outcome)`` with the observer detached and
+    the PM state frozen at the trigger instant (or at workload end if the
+    trigger never fired).
+    """
+    machine, fs = fresh(kind, pm_size, seed=seed)
+    shadow = Shadow(KIND_PROPS[kind])
+    machine.pm.attach_observer(trigger)
+    try:
+        outcome = run_workload(fs, shadow, ops)
+    finally:
+        machine.pm.detach_observer()
+    return machine, shadow, outcome
+
+
+def record_trace(kind: str, ops: List[Op], pm_size: int = DEFAULT_PM_SIZE,
+                 seed: int = 0) -> Trace:
+    """One crash-free pass; returns the workload's persistence trace."""
+    machine, fs = fresh(kind, pm_size, seed=seed)
+    tracer = PersistenceTracer()
+    shadow = Shadow(KIND_PROPS[kind])
+    machine.pm.attach_observer(tracer)
+    try:
+        outcome = run_workload(fs, shadow, ops)
+    finally:
+        machine.pm.detach_observer()
+    assert not outcome.crashed
+    return tracer.trace
+
+
+def explore(
+    kind: str,
+    ops: Optional[List[Op]] = None,
+    nops: int = 12,
+    seed: int = 0,
+    pm_size: int = DEFAULT_PM_SIZE,
+    intra: int = 0,
+    max_states: Optional[int] = None,
+) -> ExplorationReport:
+    """Enumerate and check crash states of one workload on one kind.
+
+    ``intra`` adds that many sampled intra-epoch states (with survival and
+    tearing of unfenced lines) on top of the exhaustive fence-boundary
+    enumeration.  ``max_states`` bounds total states for smoke runs.
+    """
+    if kind not in KIND_PROPS:
+        raise ValueError(f"unknown file-system kind {kind!r}")
+    if ops is None:
+        ops = generate_workload(seed, nops)
+    report = ExplorationReport(kind=kind, seed=seed, ops=list(ops))
+    report.trace = record_trace(kind, ops, pm_size, seed)
+
+    # -- exhaustive fence-boundary states ---------------------------------
+    fence_indices = range(1, report.trace.fences + 1)
+    for k in fence_indices:
+        if max_states is not None and report.states_explored >= max_states:
+            break
+        trigger = CrashTrigger(fence_index=k)
+        _explore_one(report, kind, ops, pm_size, seed, trigger,
+                     state=f"fence {k}", policy=CrashPolicy())
+
+    # -- sampled intra-epoch states ---------------------------------------
+    rng = random.Random(seed ^ 0x5EED)
+    nonempty = [
+        (e, count)
+        for e, count in enumerate(report.trace.stores_per_epoch)
+        if count > 0
+    ]
+    for _ in range(intra if nonempty else 0):
+        if max_states is not None and report.states_explored >= max_states:
+            break
+        epoch, count = nonempty[rng.randrange(len(nonempty))]
+        store = rng.randrange(count)
+        policy_seed = rng.getrandbits(32)
+        policy = CrashPolicy(
+            survive_probability=0.5,
+            pending_survive_probability=0.5,
+            tear_lines=True,
+            seed=policy_seed,
+        )
+        trigger = CrashTrigger(epoch=epoch, store_index=store)
+        _explore_one(
+            report, kind, ops, pm_size, seed, trigger,
+            state=f"epoch {epoch} store {store} (policy seed {policy_seed})",
+            policy=policy,
+        )
+    return report
+
+
+def _explore_one(
+    report: ExplorationReport,
+    kind: str,
+    ops: List[Op],
+    pm_size: int,
+    seed: int,
+    trigger: CrashTrigger,
+    state: str,
+    policy: CrashPolicy,
+) -> None:
+    machine, shadow, outcome = _replay_until(kind, ops, pm_size, seed, trigger)
+    if not outcome.crashed:
+        # The trigger never fired (fence index past the end) — skip.
+        return
+    report.states_explored += 1
+    inflight = ops[outcome.inflight] if outcome.inflight is not None else None
+    machine.crash(policy)
+    try:
+        fs_after = remount(machine, kind)
+    except Exception as exc:
+        report.violations.append(Violation(
+            kind=kind, state=state,
+            inflight=inflight.describe() if inflight else None,
+            messages=[f"remount/recovery failed: {exc!r}"],
+        ))
+        return
+    messages = check_state(kind, fs_after, shadow, inflight)
+    if messages:
+        report.violations.append(Violation(
+            kind=kind, state=state,
+            inflight=inflight.describe() if inflight else None,
+            messages=messages,
+        ))

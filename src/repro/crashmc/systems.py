@@ -1,0 +1,72 @@
+"""Per-kind construction and post-crash remount/recovery paths.
+
+Mirrors how each system really comes back after a power failure: ext4-DAX
+runs journal recovery and must pass fsck; the SplitFS kinds additionally
+replay the operation log (strict mode) and must leave a structurally sound
+ext4 image; the kernel PM file systems remount from their own on-device
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core import Mode, SplitFS, recover
+from ..ext4.filesystem import Ext4DaxFS
+from ..ext4.fsck import assert_clean
+from ..kernel.machine import Machine
+from ..nova.filesystem import NovaFS
+from ..pmfs.filesystem import PmfsFS
+from ..posix.api import FileSystemAPI
+from ..strata.filesystem import StrataFS
+
+_SPLITFS_MODES = {
+    "splitfs-posix": Mode.POSIX,
+    "splitfs-sync": Mode.SYNC,
+    "splitfs-strict": Mode.STRICT,
+}
+
+
+def fresh(kind: str, pm_size: int, seed: int = 0) -> Tuple[Machine, FileSystemAPI]:
+    """A freshly formatted instance of ``kind`` on a seeded machine."""
+    m = Machine(pm_size, seed=seed)
+    if kind == "ext4dax":
+        return m, Ext4DaxFS.format(m)
+    if kind == "pmfs":
+        return m, PmfsFS.format(m)
+    if kind == "nova-strict":
+        return m, NovaFS.format(m, strict=True)
+    if kind == "nova-relaxed":
+        return m, NovaFS.format(m, strict=False)
+    if kind == "strata":
+        return m, StrataFS.format(m)
+    if kind in _SPLITFS_MODES:
+        kfs = Ext4DaxFS.format(m)
+        return m, SplitFS(kfs, mode=_SPLITFS_MODES[kind])
+    raise ValueError(f"unknown file-system kind {kind!r}")
+
+
+def remount(machine: Machine, kind: str) -> FileSystemAPI:
+    """Bring ``kind`` back after a crash, via its own recovery path.
+
+    Raises (mount failure, fsck findings) when the image is broken — the
+    explorer treats any exception here as a violation of the universal
+    "always remountable" guarantee.
+    """
+    if kind == "ext4dax":
+        fs = Ext4DaxFS.mount(machine)
+        assert_clean(fs)
+        return fs
+    if kind == "pmfs":
+        return PmfsFS.mount(machine)
+    if kind == "nova-strict":
+        return NovaFS.mount(machine, strict=True)
+    if kind == "nova-relaxed":
+        return NovaFS.mount(machine, strict=False)
+    if kind == "strata":
+        return StrataFS.mount(machine)
+    if kind in _SPLITFS_MODES:
+        kfs, _report = recover(machine, strict=kind == "splitfs-strict")
+        assert_clean(kfs)
+        return kfs
+    raise ValueError(f"unknown file-system kind {kind!r}")

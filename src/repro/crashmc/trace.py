@@ -1,0 +1,116 @@
+"""Persistence-trace recording and crash triggering.
+
+The persistence model divides a program run into *epochs*: the stores and
+flushes between two consecutive ``sfence`` instructions.  A crash can land
+
+* at an epoch boundary — everything fenced is durable, everything in the
+  current epoch is not (the deterministic states); or
+* inside an epoch — where surviving/torn lines depend on eviction luck
+  (the probabilistic states, sampled under a seeded
+  :class:`~repro.pmem.cache.CrashPolicy`).
+
+:class:`PersistenceTracer` records the event trace of a workload (one pass),
+and :class:`CrashTrigger` replays it, raising :class:`CrashTriggered` at a
+chosen event.  Both plug into
+:meth:`~repro.pmem.device.PersistentMemory.attach_observer`; the domain fires
+hooks *before* mutating, so the raise leaves PM state exactly as it was the
+instant before that event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class CrashTriggered(BaseException):
+    """Raised by :class:`CrashTrigger` at the chosen persistence event.
+
+    Derives from ``BaseException`` so no file-system ``except Exception``
+    handler (including the syscall errno boundary) can swallow it.
+    """
+
+    def __init__(self, description: str) -> None:
+        super().__init__(description)
+        self.description = description
+
+
+@dataclass
+class Trace:
+    """Summary of one recorded workload run."""
+
+    fences: int = 0
+    stores: int = 0
+    clwbs: int = 0
+    #: stores issued within each epoch; ``stores_per_epoch[e]`` is the count
+    #: for the epoch *ending at* fence ``e`` (0-based); the final entry is
+    #: the possibly-open epoch after the last fence.
+    stores_per_epoch: List[int] = field(default_factory=list)
+
+
+class PersistenceTracer:
+    """Records fence/epoch structure during a full (crash-free) run."""
+
+    def __init__(self) -> None:
+        self.trace = Trace(stores_per_epoch=[0])
+
+    def on_store(self, addr: int, size: int, nontemporal: bool) -> None:
+        self.trace.stores += 1
+        self.trace.stores_per_epoch[-1] += 1
+
+    def on_clwb(self, addr: int, size: int) -> None:
+        self.trace.clwbs += 1
+
+    def on_fence(self) -> None:
+        self.trace.fences += 1
+        self.trace.stores_per_epoch.append(0)
+
+
+class CrashTrigger:
+    """Raises :class:`CrashTriggered` at one chosen persistence event.
+
+    ``fence_index=k`` (1-based) fires just before the ``k``-th fence drains —
+    the crash state where epochs ``0..k-2`` are durable and epoch ``k-1`` is
+    still in flight.  ``epoch``/``store_index`` instead fire just before the
+    (0-based) ``store_index``-th store of the (0-based) ``epoch``-th epoch,
+    for intra-epoch states.
+    """
+
+    def __init__(
+        self,
+        fence_index: Optional[int] = None,
+        epoch: Optional[int] = None,
+        store_index: Optional[int] = None,
+    ) -> None:
+        if (fence_index is None) == (epoch is None):
+            raise ValueError("pass exactly one of fence_index or epoch")
+        if epoch is not None and store_index is None:
+            raise ValueError("epoch crashes need a store_index")
+        self.fence_index = fence_index
+        self.epoch = epoch
+        self.store_index = store_index
+        self.fences_seen = 0
+        self.stores_this_epoch = 0
+        self.fired = False
+
+    def on_store(self, addr: int, size: int, nontemporal: bool) -> None:
+        if (
+            self.epoch is not None
+            and self.fences_seen == self.epoch
+            and self.stores_this_epoch == self.store_index
+        ):
+            self.fired = True
+            raise CrashTriggered(
+                f"store {self.store_index} of epoch {self.epoch}"
+            )
+        self.stores_this_epoch += 1
+
+    def on_clwb(self, addr: int, size: int) -> None:
+        pass
+
+    def on_fence(self) -> None:
+        if self.fence_index is not None and self.fences_seen + 1 == self.fence_index:
+            self.fired = True
+            raise CrashTriggered(f"fence {self.fence_index}")
+        self.fences_seen += 1
+        self.stores_this_epoch = 0

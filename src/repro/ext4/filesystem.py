@@ -133,7 +133,8 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
         fs._init_journal(jstart, fs.config.journal_blocks)
 
         fs.alloc = ExtentAllocator(
-            fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start
+            fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start,
+            faults=machine.faults,
         )
         root = Inode(ino=ROOT_INO, mode=0o755, is_dir=True, nlink=2)
         fs.inodes[ROOT_INO] = root
@@ -160,7 +161,8 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
         fs._recover_journal(jstart, jblocks)
 
         fs.alloc = ExtentAllocator(
-            total - data_start, clock=fs.clock, first_block=data_start
+            total - data_start, clock=fs.clock, first_block=data_start,
+            faults=machine.faults,
         )
         fs.free_inos = []
 
@@ -632,6 +634,11 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
             freed = inode.extmap.truncate_blocks(keep_blocks)
             if freed:
                 self.alloc.free(freed)
+            # POSIX: if the file grows again, bytes past the truncated EOF
+            # must read zero — scrub the stale tail of the kept partial block.
+            tail = keep_blocks * C.BLOCK_SIZE - length
+            if tail and inode.extmap.lookup_block(length // C.BLOCK_SIZE) is not None:
+                self._store_range(inode, length, b"\x00" * tail)
         inode.size = length
         self._journal_inode(inode)
 

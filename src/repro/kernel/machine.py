@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import random
 from typing import Optional
 
+from ..pmem.cache import CrashPolicy
 from ..pmem.device import PersistentMemory, VolatileMemory
+from ..pmem.faults import FaultInjector
 from ..pmem.timing import SimClock
 from .vm import VirtualMemory
 
@@ -13,18 +16,33 @@ DEFAULT_PM_SIZE = 256 * 1024 * 1024
 
 
 class Machine:
-    """Bundles the shared substrate a file system instance runs on."""
+    """Bundles the shared substrate a file system instance runs on.
 
-    def __init__(self, pm_size: int = DEFAULT_PM_SIZE, dram_size: int = 0) -> None:
+    ``seed`` drives every probabilistic crash outcome on this machine: a
+    :class:`~repro.pmem.cache.CrashPolicy` without an explicit seed gets one
+    drawn from the machine's crash RNG, so any sequence of crashes is
+    bit-for-bit replayable from ``Machine(seed=...)``.  Pass ``seed=None``
+    to opt back into unseeded (irreproducible) crashes.
+    """
+
+    def __init__(self, pm_size: int = DEFAULT_PM_SIZE, dram_size: int = 0,
+                 seed: Optional[int] = 0) -> None:
         self.clock = SimClock()
-        self.pm = PersistentMemory(pm_size, self.clock)
+        self.faults = FaultInjector()
+        self.pm = PersistentMemory(pm_size, self.clock, faults=self.faults)
         self.vm = VirtualMemory(self.clock)
         self.dram: Optional[VolatileMemory] = (
             VolatileMemory(dram_size, self.clock) if dram_size else None
         )
+        self.seed = seed
+        self._crash_rng = random.Random(seed) if seed is not None else None
+        self.crashes = 0
 
-    def crash(self, policy=None) -> None:
+    def crash(self, policy: Optional[CrashPolicy] = None) -> None:
         """Power failure: PM loses un-persisted lines, DRAM loses everything."""
+        self.crashes += 1
+        if policy is not None and policy.seed is None and self._crash_rng is not None:
+            policy = policy.with_seed(self._crash_rng.getrandbits(32))
         self.pm.crash(policy)
         if self.dram is not None:
             self.dram.crash()

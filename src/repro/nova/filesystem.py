@@ -125,7 +125,8 @@ class NovaFS(FileSystemAPI, KernelCosts):
         )
         machine.pm.poke(0, sb)
         fs.alloc = ExtentAllocator(
-            fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start
+            fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start,
+            faults=machine.faults,
         )
         root = NovaInode(ino=ROOT_INO, mode=0o755, is_dir=True, nlink=2)
         fs.inodes[ROOT_INO] = root
@@ -145,7 +146,8 @@ class NovaFS(FileSystemAPI, KernelCosts):
         fs.itable_start = itable_start
         fs.data_start = data_start
         fs.alloc = ExtentAllocator(
-            total - data_start, clock=fs.clock, first_block=data_start
+            total - data_start, clock=fs.clock, first_block=data_start,
+            faults=machine.faults,
         )
         fs.free_inos = []
         for ino in range(max_inodes - 1, 0, -1):
@@ -678,6 +680,19 @@ class NovaFS(FileSystemAPI, KernelCosts):
             freed = inode.extmap.truncate_blocks(keep)
             if freed:
                 self.alloc.free(freed)
+            # POSIX: if the file grows again, bytes past the truncated EOF
+            # must read zero — scrub the stale tail of the kept partial
+            # block.  Fenced before the setattr entry is logged, so the
+            # zeros are durable whenever the shrink is.
+            tail = keep * C.BLOCK_SIZE - length
+            if tail:
+                phys = inode.extmap.lookup_block(length // C.BLOCK_SIZE)
+                if phys is not None:
+                    self.pm.store(
+                        phys * C.BLOCK_SIZE + length % C.BLOCK_SIZE,
+                        b"\x00" * tail, category=Category.DATA,
+                    )
+                    self.pm.sfence(category=Category.META_IO)
         inode.size = length
         self._log_append(inode, L.SetattrEntry(inode.ino, length))
 

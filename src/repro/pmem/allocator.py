@@ -51,12 +51,16 @@ class ExtentAllocator:
         total_blocks: int,
         clock: Optional[SimClock] = None,
         first_block: int = 0,
+        faults=None,
     ) -> None:
         if total_blocks <= 0:
             raise ValueError("total_blocks must be positive")
         self.total_blocks = total_blocks
         self.first_block = first_block
         self.clock = clock
+        #: Optional :class:`~repro.pmem.faults.FaultInjector` consulted before
+        #: every allocation (forced-ENOSPC experiments).
+        self.faults = faults
         # Sorted, non-overlapping, coalesced free extents.
         self._free: List[Extent] = [Extent(first_block, total_blocks)]
         self._free_blocks = total_blocks
@@ -66,6 +70,8 @@ class ExtentAllocator:
     def _charge(self) -> None:
         if self.clock is not None:
             self.clock.charge_cpu(C.ALLOC_CPU_NS)
+        if self.faults is not None:
+            self.faults.on_alloc()
 
     @property
     def free_blocks(self) -> int:

@@ -16,10 +16,26 @@ line's durability is only atomic at 8-byte granularity (torn lines).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Set, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional, Protocol, Set, Tuple
 
 from .constants import CACHELINE_SIZE
+
+
+class DomainObserver(Protocol):
+    """Hook interface for persistence-trace recording and crash triggering.
+
+    ``on_store`` fires *before* the store mutates the buffer, ``on_fence``
+    fires *before* the fence drains — so an observer that raises leaves the
+    domain exactly as it was at that instant (the crash-model checker in
+    :mod:`repro.crashmc` relies on this to enumerate intermediate states).
+    """
+
+    def on_store(self, addr: int, size: int, nontemporal: bool) -> None: ...
+
+    def on_clwb(self, addr: int, size: int) -> None: ...
+
+    def on_fence(self) -> None: ...
 
 
 @dataclass
@@ -49,6 +65,17 @@ class CrashPolicy:
     def rng(self) -> random.Random:
         return random.Random(self.seed)
 
+    def with_seed(self, seed: int) -> "CrashPolicy":
+        """A copy of this policy with ``seed`` filled in (if unset).
+
+        :meth:`repro.kernel.machine.Machine.crash` uses this to thread a
+        machine-level seed into otherwise-unseeded policies, so every
+        probabilistic crash outcome is replayable.
+        """
+        if self.seed is not None:
+            return self
+        return replace(self, seed=seed)
+
 
 class PersistenceDomain:
     """Tracks the durable image of a byte buffer at cache-line granularity.
@@ -64,6 +91,8 @@ class PersistenceDomain:
         self._preimages: Dict[int, bytes] = {}
         # line indexes flushed (clwb/movnt) but not yet fenced
         self._pending_fence: Set[int] = set()
+        # optional persistence-trace hook (see DomainObserver)
+        self.observer: Optional[DomainObserver] = None
 
     # -- line bookkeeping ---------------------------------------------------
 
@@ -80,6 +109,8 @@ class PersistenceDomain:
         """
         if size <= 0:
             return
+        if self.observer is not None:
+            self.observer.on_store(addr, size, nontemporal)
         for line in self._line_range(addr, size):
             if line not in self._preimages:
                 start = line * CACHELINE_SIZE
@@ -93,6 +124,8 @@ class PersistenceDomain:
 
     def clwb(self, addr: int, size: int) -> int:
         """Flush dirty lines covering the range; returns lines flushed."""
+        if self.observer is not None:
+            self.observer.on_clwb(addr, size)
         flushed = 0
         for line in self._line_range(addr, size):
             if line in self._preimages and line not in self._pending_fence:
@@ -102,6 +135,8 @@ class PersistenceDomain:
 
     def sfence(self) -> int:
         """Fence: everything flushed becomes durable.  Returns lines drained."""
+        if self.observer is not None:
+            self.observer.on_fence()
         drained = len(self._pending_fence)
         for line in self._pending_fence:
             self._preimages.pop(line, None)

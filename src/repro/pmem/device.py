@@ -53,7 +53,8 @@ class PMError(Exception):
 class PersistentMemory:
     """A simulated Intel-Optane-style persistent memory device."""
 
-    def __init__(self, size: int, clock: Optional[SimClock] = None) -> None:
+    def __init__(self, size: int, clock: Optional[SimClock] = None,
+                 faults=None) -> None:
         if size <= 0 or size % C.BLOCK_SIZE:
             raise ValueError(f"size must be a positive multiple of {C.BLOCK_SIZE}")
         self.size = size
@@ -61,6 +62,22 @@ class PersistentMemory:
         self.buf = bytearray(size)
         self.domain = PersistenceDomain(self.buf)
         self.stats = DeviceStats()
+        #: Optional :class:`~repro.pmem.faults.FaultInjector` (set by Machine).
+        self.faults = faults
+
+    # -- persistence-trace hooks ------------------------------------------------
+
+    def attach_observer(self, observer) -> None:
+        """Install a :class:`~repro.pmem.cache.DomainObserver` on the domain.
+
+        The observer sees every store/clwb/fence in program order; the
+        crash-model checker uses one to record traces and trigger crashes at
+        chosen persistence events.
+        """
+        self.domain.observer = observer
+
+    def detach_observer(self) -> None:
+        self.domain.observer = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -134,6 +151,8 @@ class PersistentMemory:
     ) -> bytes:
         """Read ``size`` bytes; charges one access latency plus bandwidth."""
         self._check(addr, size)
+        if self.faults is not None:
+            self.faults.check_load(addr, size)
         self.stats.loads += 1
         self.stats.bytes_read += size
         latency = C.PM_RAND_READ_LATENCY_NS if random_access else C.PM_SEQ_READ_LATENCY_NS

@@ -1,0 +1,97 @@
+"""Pluggable fault injection for the simulated PM stack.
+
+One :class:`FaultInjector` hangs off every :class:`~repro.kernel.machine.Machine`
+and is consulted by the layers below the POSIX boundary:
+
+* :class:`~repro.pmem.device.PersistentMemory` checks poisoned address ranges
+  on every ``load`` and raises :class:`MediaError` (the EIO path — an Optane
+  media error surfaces to the kernel as a machine check on load);
+* :class:`~repro.pmem.allocator.ExtentAllocator` asks before serving an
+  allocation, so ENOSPC can be forced at the Nth allocation mid-workload;
+* tests and the crash-model checker use :meth:`tear_line` to durably corrupt
+  a cache line (torn operation-log slots, bit-rotted metadata).
+
+Every fault a file system lets escape its public API as something other than
+the matching :class:`~repro.posix.errors.FSError` errno is a robustness bug;
+``tests/crashmc/test_faults.py`` enforces this for all eight FS kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..posix.errors import NoSpaceFSError
+from .device import PMError, PersistentMemory
+
+
+class MediaError(PMError):
+    """An uncorrectable media error on a PM load (the device-level EIO)."""
+
+
+@dataclass
+class FaultInjector:
+    """Machine-wide fault plan; inert until armed.
+
+    ``poison(addr, size)`` arms media read errors over a byte range;
+    ``fail_alloc_after(n)`` makes the (n+1)-th allocator request fail with
+    an ENOSPC condition (one-shot, then disarms).  Counters record how many
+    faults actually fired so tests can assert the path was exercised.
+    """
+
+    poisoned: List[Tuple[int, int]] = field(default_factory=list)
+    alloc_countdown: Optional[int] = None
+    media_faults_fired: int = 0
+    alloc_faults_fired: int = 0
+
+    # -- arming --------------------------------------------------------------
+
+    def poison(self, addr: int, size: int) -> None:
+        """Mark ``[addr, addr+size)`` as returning media errors on load."""
+        self.poisoned.append((addr, addr + size))
+
+    def fail_alloc_after(self, n: int) -> None:
+        """Let ``n`` more allocations succeed, then fail the next one."""
+        self.alloc_countdown = n
+
+    def clear(self) -> None:
+        self.poisoned.clear()
+        self.alloc_countdown = None
+
+    @property
+    def armed(self) -> bool:
+        return bool(self.poisoned) or self.alloc_countdown is not None
+
+    # -- hooks (called by device / allocator) --------------------------------
+
+    def check_load(self, addr: int, size: int) -> None:
+        for start, end in self.poisoned:
+            if addr < end and addr + size > start:
+                self.media_faults_fired += 1
+                raise MediaError(
+                    f"uncorrectable media error reading [{addr}, {addr + size})"
+                )
+
+    def on_alloc(self) -> None:
+        if self.alloc_countdown is None:
+            return
+        if self.alloc_countdown <= 0:
+            self.alloc_countdown = None  # one-shot
+            self.alloc_faults_fired += 1
+            raise NoSpaceFSError("injected allocation failure")
+        self.alloc_countdown -= 1
+
+    # -- direct corruption ---------------------------------------------------
+
+    def tear_line(self, pm: PersistentMemory, addr: int,
+                  pattern: bytes = b"\xde\xad\xbe\xef\xde\xad\xbe\xef",
+                  words: Tuple[int, ...] = (1, 3, 5)) -> None:
+        """Durably corrupt selected 8-byte words of the line holding ``addr``.
+
+        Models a torn line that partially persisted: some words carry the new
+        (garbage) value, the rest keep theirs.  Used to forge torn
+        operation-log slots and exercise checksum-rejection paths.
+        """
+        line_start = addr - addr % 64
+        for word in words:
+            pm.poke(line_start + word * 8, pattern[:8])

@@ -13,12 +13,15 @@ ext4 model and differs exactly where the real systems differ:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from ..ext4.filesystem import Ext4Config, Ext4DaxFS
 from ..ext4.inode import Inode, free_inode_block, serialize_inode
 from ..kernel.fsbase import OpenFile
 from ..kernel.machine import Machine
 from ..pmem import constants as C
 from ..pmem.timing import Category
+from ..posix import flags as F
 from ..posix.errors import InvalidArgumentFSError
 from .journal import UndoJournal
 
@@ -52,6 +55,49 @@ class PmfsFS(Ext4DaxFS):
 
     # -- metadata persistence: immediate, fine-grained, undo-logged -----------
 
+    @contextmanager
+    def _op_tx(self):
+        """One syscall = one undo transaction.
+
+        Real PMFS journals every metadata line an operation touches under a
+        single commit, so a crash mid-create (dirent applied, inode record
+        not) rolls the whole operation back instead of leaving a dangling
+        entry.  Nested brackets collapse into the outermost one.
+        """
+        self.undo.begin()
+        try:
+            yield
+        finally:
+            self.undo.commit()
+
+    def open(self, path: str, flags: int = F.O_RDWR, mode: int = 0o644) -> int:
+        with self._op_tx():
+            return super().open(path, flags, mode)
+
+    def close(self, fd: int) -> None:
+        with self._op_tx():
+            super().close(fd)
+
+    def unlink(self, path: str) -> None:
+        with self._op_tx():
+            super().unlink(path)
+
+    def rename(self, old: str, new: str) -> None:
+        with self._op_tx():
+            super().rename(old, new)
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        with self._op_tx():
+            super().mkdir(path, mode)
+
+    def rmdir(self, path: str) -> None:
+        with self._op_tx():
+            super().rmdir(path)
+
+    def ftruncate(self, fd: int, length: int) -> None:
+        with self._op_tx():
+            super().ftruncate(fd, length)
+
     def _journal_inode(self, inode: Inode) -> None:
         self._provision_cont_blocks(inode)
         blocks = serialize_inode(inode)
@@ -84,7 +130,8 @@ class PmfsFS(Ext4DaxFS):
     # -- synchronous data path ----------------------------------------------------
 
     def _do_write(self, of: OpenFile, data: bytes, offset: int) -> int:
-        n = super()._do_write(of, data, offset)
+        with self._op_tx():  # size/extent updates commit as one transaction
+            n = super()._do_write(of, data, offset)
         # PMFS is synchronous: the data is durable before write() returns.
         self.pm.sfence(category=Category.META_IO)
         self.dirty_data.pop(of.ino, None)

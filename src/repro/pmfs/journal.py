@@ -17,6 +17,7 @@ Record: line 0 = header (magic, gen, target addr), line 1 = old contents.
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import List, Tuple
 
 from ..pmem import constants as C
@@ -24,10 +25,23 @@ from ..pmem.device import PersistentMemory
 from ..pmem.timing import Category
 
 _REC_MAGIC = 0x504D4653  # "PMFS"
-_HDR_FMT = "<IIQ"  # magic, gen, target line addr
+_HDR_FMT = "<IIQI"  # magic, gen, target line addr, crc32
 _DONE_FMT = "<IQ"  # magic, done generation
 _DONE_MAGIC = 0x444F4E45  # "DONE"
 _REC_SIZE = 2 * C.CACHELINE_SIZE
+
+
+def _rec_crc(gen: int, line_addr: int, old_line: bytes) -> int:
+    """Checksum binding a record header to its old-content line.
+
+    Record slots are reused across transactions and a crash can tear or
+    drop individual 8-byte words, so a header from the interrupted
+    transaction may sit next to a content line from an older one (or a
+    torn mixture).  Rolling a line back to such content corrupts durable
+    state; the checksum lets recovery reject any record that is not
+    intact end to end.
+    """
+    return zlib.crc32(struct.pack("<IQ", gen, line_addr) + old_line)
 
 
 class UndoJournal:
@@ -38,6 +52,8 @@ class UndoJournal:
         self.start = start_block * C.BLOCK_SIZE
         self.capacity = (nblocks - 1) * C.BLOCK_SIZE // _REC_SIZE
         self.gen = 1
+        self._tx_depth = 0
+        self._tx_records = 0
 
     def format(self) -> None:
         self.gen = 1
@@ -50,12 +66,35 @@ class UndoJournal:
 
     # -- transaction --------------------------------------------------------
 
+    def begin(self) -> None:
+        """Open (or nest into) an operation-level transaction.
+
+        Updates applied before the matching :meth:`commit` share one
+        generation and one done marker, so a crash anywhere inside the
+        operation rolls *all* of them back — real PMFS journals a whole
+        metadata operation atomically, not each touched structure.
+        """
+        self._tx_depth += 1
+
+    def commit(self) -> None:
+        """Close the transaction; outermost commit persists the done marker."""
+        if self._tx_depth <= 0:
+            raise ValueError("commit without begin")
+        self._tx_depth -= 1
+        if self._tx_depth == 0 and self._tx_records:
+            self._persist_done(self.gen)
+            self.gen += 1
+            self._tx_records = 0
+
     def apply_update(self, addr: int, new_content: bytes) -> int:
         """Atomically update ``[addr, addr+len)`` in place.
 
         Diffs the new content against the device image, undo-logs each
-        changed cache line, fences, applies the changed lines in place,
-        fences, and bumps the done marker.  Returns lines changed.
+        changed cache line, fences, applies the changed lines in place, and
+        fences.  Outside a :meth:`begin`/:meth:`commit` bracket the done
+        marker is bumped immediately (a single-update transaction); inside
+        one, the records accumulate until the outermost commit.  Returns
+        lines changed.
         """
         if addr % C.CACHELINE_SIZE:
             raise ValueError("metadata updates must be line aligned")
@@ -68,12 +107,13 @@ class UndoJournal:
                 changed.append((addr + off, old_line, new_line))
         if not changed:
             return 0
-        if len(changed) > self.capacity:
+        if self._tx_records + len(changed) > self.capacity:
             raise ValueError("transaction exceeds undo journal capacity")
         # 1. undo records, then fence
-        rec_addr = self.start + C.BLOCK_SIZE
+        rec_addr = self.start + C.BLOCK_SIZE + self._tx_records * _REC_SIZE
         for line_addr, old_line, _ in changed:
-            hdr = struct.pack(_HDR_FMT, _REC_MAGIC, self.gen, line_addr)
+            hdr = struct.pack(_HDR_FMT, _REC_MAGIC, self.gen, line_addr,
+                              _rec_crc(self.gen, line_addr, old_line))
             hdr += b"\x00" * (C.CACHELINE_SIZE - len(hdr))
             self.pm.store(rec_addr, hdr + old_line, category=Category.META_IO)
             rec_addr += _REC_SIZE
@@ -82,9 +122,12 @@ class UndoJournal:
         for line_addr, _, new_line in changed:
             self.pm.store(line_addr, new_line, category=Category.META_IO)
         self.pm.sfence(category=Category.META_IO)
-        # 3. done marker (commit point: records no longer roll back)
-        self._persist_done(self.gen)
-        self.gen += 1
+        if self._tx_depth == 0:
+            # 3. done marker (commit point: records no longer roll back)
+            self._persist_done(self.gen)
+            self.gen += 1
+        else:
+            self._tx_records += len(changed)
         return len(changed)
 
     # -- recovery ------------------------------------------------------------------
@@ -99,18 +142,27 @@ class UndoJournal:
         magic, done_gen = struct.unpack(_DONE_FMT, raw)
         if magic != _DONE_MAGIC:
             raise ValueError("undo journal not formatted")
-        rolled = 0
         rec_addr = self.start + C.BLOCK_SIZE
         # Records of the interrupted transaction all carry gen done_gen + 1.
+        pending: List[Tuple[int, bytes]] = []
         while True:
             raw = self.pm.load(rec_addr, _REC_SIZE, category=Category.META_IO)
-            magic, gen, line_addr = struct.unpack_from(_HDR_FMT, raw)
+            magic, gen, line_addr, crc = struct.unpack_from(_HDR_FMT, raw)
+            old_line = raw[C.CACHELINE_SIZE:]
             if magic != _REC_MAGIC or gen != done_gen + 1:
                 break
-            self.pm.store(line_addr, raw[C.CACHELINE_SIZE:],
-                          category=Category.META_IO)
-            rolled += 1
+            if crc != _rec_crc(gen, line_addr, old_line):
+                # Torn record: its batch never reached the record fence, so
+                # the in-place updates it guards never executed.  Everything
+                # at or past this slot is from the same unfenced batch.
+                break
+            pending.append((line_addr, old_line))
             rec_addr += _REC_SIZE
+        # Roll back newest-first: a line updated twice in one transaction
+        # must end at its oldest (pre-transaction) image.
+        for line_addr, old_line in reversed(pending):
+            self.pm.store(line_addr, old_line, category=Category.META_IO)
+        rolled = len(pending)
         self.pm.sfence(category=Category.META_IO)
         self.gen = done_gen + 1
         self._persist_done(done_gen)  # re-arm at the same generation

@@ -10,11 +10,12 @@ object behind it.
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass
 from typing import List
 
 from . import flags as F
-from .errors import InvalidArgumentFSError
+from .errors import FSError, InvalidArgumentFSError, IOFSError
 
 
 @dataclass
@@ -46,13 +47,57 @@ def parent_and_name(path: str) -> "tuple[List[str], str]":
     return comps[:-1], comps[-1]
 
 
+#: The public syscall surface.  Every concrete file system gets these methods
+#: wrapped so that device-level faults (:class:`~repro.pmem.device.PMError`,
+#: e.g. an injected media error) escape only as the POSIX-shaped
+#: :class:`~repro.posix.errors.IOFSError` (EIO) — never as a raw simulator
+#: exception.  ``FSError`` subclasses pass through untouched, so ENOSPC etc.
+#: keep their errno.
+_SYSCALLS = (
+    "open", "close", "unlink", "rename",
+    "read", "write", "pread", "pwrite", "readv", "writev",
+    "lseek", "fsync", "fdatasync", "ftruncate",
+    "stat", "fstat", "mkdir", "rmdir", "listdir",
+)
+
+
+def _errno_boundary(func):
+    @functools.wraps(func)
+    def wrapper(self, *a, **kw):
+        try:
+            return func(self, *a, **kw)
+        except FSError:
+            raise
+        except Exception as exc:
+            from ..pmem.device import PMError
+
+            if isinstance(exc, PMError):
+                raise IOFSError(str(exc)) from exc
+            raise
+
+    wrapper._errno_wrapped = True
+    return wrapper
+
+
 class FileSystemAPI(abc.ABC):
     """POSIX file operations over the simulated stack.
 
     Sequential ``read``/``write`` use the per-open-file offset, like the
     kernel's struct file; ``pread``/``pwrite`` are positional.  All paths are
-    absolute.  Errors are :class:`~repro.posix.errors.FSError` subclasses.
+    absolute.  Errors are :class:`~repro.posix.errors.FSError` subclasses —
+    :meth:`__init_subclass__` guarantees that by translating any device-level
+    :class:`~repro.pmem.device.PMError` crossing the boundary into EIO.
     """
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        for name in _SYSCALLS:
+            method = cls.__dict__.get(name)
+            if method is None or getattr(method, "_errno_wrapped", False):
+                continue
+            if getattr(method, "__isabstractmethod__", False):
+                continue
+            setattr(cls, name, _errno_boundary(method))
 
     # -- file lifecycle -----------------------------------------------------
 

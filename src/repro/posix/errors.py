@@ -9,6 +9,13 @@ class FSError(Exception):
     errno_name = "EIO"
 
 
+class IOFSError(FSError):
+    """A device-level failure (e.g. an uncorrectable media error) surfaced
+    through the syscall boundary as EIO."""
+
+    errno_name = "EIO"
+
+
 class FileNotFoundFSError(FSError):
     errno_name = "ENOENT"
 

@@ -108,7 +108,8 @@ class StrataFS(FileSystemAPI, KernelCosts):
         machine.pm.poke(0, sb)
         machine.pm.poke(fs._log_addr(0), b"\x00" * C.BLOCK_SIZE)
         fs.alloc = ExtentAllocator(
-            fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start
+            fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start,
+            faults=machine.faults,
         )
         root = Inode(ino=ROOT_INO, mode=0o755, is_dir=True, nlink=2)
         fs.inodes[ROOT_INO] = root
@@ -134,7 +135,8 @@ class StrataFS(FileSystemAPI, KernelCosts):
         hp = C.BLOCKS_PER_HUGE_PAGE
         fs.data_start = (itable_start + max_inodes + hp - 1) // hp * hp
         fs.alloc = ExtentAllocator(
-            total - fs.data_start, clock=fs.clock, first_block=fs.data_start
+            total - fs.data_start, clock=fs.clock, first_block=fs.data_start,
+            faults=machine.faults,
         )
         fs.free_inos = []
 
@@ -263,12 +265,39 @@ class StrataFS(FileSystemAPI, KernelCosts):
         elif rec.rtype == L.T_LINK:
             self.dirs[rec.parent].add(rec.name, rec.ino)
         elif rec.rtype == L.T_TRUNCATE:
-            self.sizes[rec.ino] = rec.size
-            self.overlay[rec.ino] = [
-                (off, size, addr)
-                for off, size, addr in self.overlay.get(rec.ino, [])
-                if off < rec.size
-            ]
+            self._apply_truncate(rec.ino, rec.size)
+
+    def _apply_truncate(self, ino: int, length: int) -> None:
+        """Apply a truncate: clip the DRAM overlay and scrub shared blocks.
+
+        POSIX requires bytes past a truncated EOF to read zero if the file
+        later grows again, so overlay intervals are clipped to ``length``
+        (not just filtered by start offset) and stale shared-area bytes
+        beyond the new EOF are zeroed.  The T_TRUNCATE record is fenced
+        into the log before this runs, and re-applying during replay is
+        idempotent, so the scrub is crash-safe at any interleaving.
+        """
+        self.sizes[ino] = length
+        self.overlay[ino] = [
+            (off, min(size, length - off), addr)
+            for off, size, addr in self.overlay.get(ino, [])
+            if off < length
+        ]
+        inode = self.inodes.get(ino)
+        if inode is None or inode.is_dir:
+            return
+        mapped_end = max(
+            (e.logical_end for e in inode.extmap), default=0
+        ) * C.BLOCK_SIZE
+        if mapped_end > length:
+            for addr, run in inode.extmap.map_byte_range(
+                length, mapped_end - length
+            ):
+                if addr is not None:
+                    self.pm.store(addr, b"\x00" * run, category=Category.DATA)
+            self.pm.sfence(category=Category.META_IO)
+        if inode.size > length:
+            inode.size = length
 
     def _drop_inode(self, ino: int) -> None:
         inode = self.inodes.pop(ino, None)
@@ -616,12 +645,7 @@ class StrataFS(FileSystemAPI, KernelCosts):
         if length < 0:
             raise InvalidArgumentFSError("negative truncate length")
         self._log_append(L.Record(L.T_TRUNCATE, ino=ino, size=length))
-        self.sizes[ino] = length
-        self.overlay[ino] = [
-            (off, size, addr)
-            for off, size, addr in self.overlay.get(ino, [])
-            if off < length
-        ]
+        self._apply_truncate(ino, length)
 
     def stat(self, path: str) -> Stat:
         self.clock.charge_cpu(C.USPLIT_INTERCEPT_NS + C.KERNEL_STAT_CPU_NS)

@@ -58,7 +58,10 @@ class TestUndoJournal:
 
         pm.poke(8192, b"F" * 64)
         # Hand-craft the undo record exactly as apply_update would:
-        hdr = struct.pack("<IIQ", 0x504D4653, undo.gen, 8192)
+        from repro.pmfs.journal import _rec_crc
+
+        hdr = struct.pack("<IIQI", 0x504D4653, undo.gen, 8192,
+                          _rec_crc(undo.gen, 8192, b"F" * 64))
         hdr += b"\x00" * (CACHELINE_SIZE - len(hdr))
         pm.store(undo.start + BLOCK_SIZE, hdr + b"F" * 64)
         pm.sfence()
