@@ -61,10 +61,11 @@ class Measurement:
 
 
 def build(system: str, pm_size: int = DEFAULT_PM,
-          splitfs_config: Optional[SplitFSConfig] = None
+          splitfs_config: Optional[SplitFSConfig] = None,
+          ras: bool = False,
           ) -> Tuple[Machine, FileSystemAPI]:
     return make_filesystem(system, pm_size=pm_size,
-                           splitfs_config=splitfs_config)
+                           splitfs_config=splitfs_config, ras=ras)
 
 
 def measure(
@@ -74,12 +75,15 @@ def measure(
     body: Callable[[FileSystemAPI, object], int],
     pm_size: int = DEFAULT_PM,
     splitfs_config: Optional[SplitFSConfig] = None,
+    ras: bool = False,
 ) -> Measurement:
     """Run ``setup`` (uncharged to the measurement), then measure ``body``.
 
-    ``body`` returns the number of operations it performed.
+    ``body`` returns the number of operations it performed.  ``ras=True``
+    runs the workload with the online RAS layer enabled and folds its
+    counters into ``extras`` (keys prefixed ``ras_``).
     """
-    machine, fs = build(system, pm_size, splitfs_config)
+    machine, fs = build(system, pm_size, splitfs_config, ras=ras)
     ctx = setup(fs)
     io_before = machine.pm.stats.snapshot()
     with machine.clock.measure() as account:
@@ -92,6 +96,15 @@ def measure(
         "fences": float(io.fences),
         "clwb_lines": float(io.clwb_lines),
     }
+    if machine.ras is not None:
+        for key, value in machine.ras.stats.as_dict().items():
+            extras[f"ras_{key}"] = float(value)
+        extras["ras_scrub_background_ns"] = machine.ras.background_account.total_ns
+    elif hasattr(fs, "rstats"):
+        # SplitFS records degradation events even without a RAS controller.
+        for key in ("degraded_entries", "degraded_exits", "degraded_ops",
+                    "enospc_retries"):
+            extras[f"ras_{key}"] = float(getattr(fs.rstats, key))
     return Measurement(system, workload_name, ops, account.snapshot(), io,
                        extras=extras)
 
@@ -108,6 +121,7 @@ def io_pattern_workload(
     fsync_every: int = 0,
     splitfs_config: Optional[SplitFSConfig] = None,
     seed: int = 5,
+    ras: bool = False,
 ) -> Measurement:
     """The Figure 4 micro-benchmarks: one pattern over one file.
 
@@ -159,7 +173,7 @@ def io_pattern_workload(
         return nops
 
     return measure(system, f"{pattern}-{op_size}B", setup, body,
-                   splitfs_config=splitfs_config)
+                   splitfs_config=splitfs_config, ras=ras)
 
 
 def append_4k_workload(system: str, total_bytes: int = 8 * 1024 * 1024,

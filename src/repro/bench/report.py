@@ -61,6 +61,34 @@ def render_persistence_summary(measurements: Iterable) -> str:
         rows)
 
 
+def render_ras_summary(measurements: Iterable) -> str:
+    """Per-measurement RAS counter table (``repro ras-report`` and benches).
+
+    Shows the error ledger (detected / repaired / unrecoverable), scrub
+    activity, and graceful-degradation events each measurement recorded in
+    its ``ras_*`` extras.
+    """
+    rows = []
+    for m in measurements:
+        e = m.extras
+        rows.append([
+            m.system,
+            m.workload,
+            f"{e.get('ras_detected', 0):.0f}",
+            f"{e.get('ras_repaired', 0):.0f}",
+            f"{e.get('ras_unrecoverable', 0):.0f}",
+            f"{e.get('ras_scrub_passes', 0):.0f}",
+            f"{e.get('ras_degraded_entries', 0):.0f}",
+            f"{e.get('ras_degraded_ops', 0):.0f}",
+            f"{e.get('ras_enospc_retries', 0):.0f}",
+        ])
+    return render_table(
+        "RAS summary (per measured workload)",
+        ["system", "workload", "detected", "repaired", "unrecov",
+         "scrubs", "degr entries", "degr ops", "enospc retries"],
+        rows)
+
+
 def fmt_us(ns: float) -> str:
     return f"{ns / 1000:.2f}"
 

@@ -102,7 +102,9 @@ def cmd_crashmc(args: argparse.Namespace) -> int:
     for kind in kinds:
         report = explore(kind, nops=args.ops, seed=args.seed,
                          pm_size=pm_size, intra=args.intra,
-                         max_states=args.max_states)
+                         max_states=args.max_states,
+                         ras=args.ras or args.media_rate > 0,
+                         media_rate=args.media_rate)
         print(report.format())
         if report.ok:
             continue
@@ -113,6 +115,13 @@ def cmd_crashmc(args: argparse.Namespace) -> int:
             print(f"  minimized to {len(small.ops)} op(s); reproducer:")
             print(emit_reproducer(small, pm_size=pm_size, intra=args.intra))
     return 1 if failed else 0
+
+
+def cmd_ras_report(args: argparse.Namespace) -> int:
+    from .ras.report import run_ras_report
+
+    print(run_ras_report(system=args.system, seed=args.seed))
+    return 0
 
 
 def cmd_crashdemo(_args: argparse.Namespace) -> int:
@@ -176,6 +185,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--minimize", action="store_true",
                    help="on violation, ddmin the workload and print a "
                         "standalone reproducer script")
+    p.add_argument("--ras", action="store_true",
+                   help="explore with the RAS layer enabled (metadata "
+                        "replicas + repair on the remount path)")
+    p.add_argument("--media-rate", type=float, default=0.0,
+                   help="post-crash poison probability per protected cache "
+                        "line (implies --ras); oracles then check the "
+                        "repaired states")
+
+    p = sub.add_parser(
+        "ras-report",
+        help="RAS layer: checksum overhead, repair ledger, degraded mode")
+    p.add_argument("--system", default="splitfs-posix", choices=SYSTEM_NAMES)
+    p.add_argument("--seed", type=int, default=11)
 
     sub.add_parser("crashdemo", help="Table 3 crash semantics, live")
     return parser
@@ -188,6 +210,7 @@ _COMMANDS = {
     "iopatterns": cmd_iopatterns,
     "ycsb": cmd_ycsb,
     "crashmc": cmd_crashmc,
+    "ras-report": cmd_ras_report,
     "crashdemo": cmd_crashdemo,
 }
 

@@ -30,8 +30,10 @@ from ..posix.api import FileSystemAPI, Stat
 from ..posix.errors import (
     BadFileDescriptorError,
     InvalidArgumentFSError,
+    NoSpaceFSError,
     PermissionFSError,
 )
+from ..ras import RASStats
 from .mmap_collection import MmapCollection
 from .modes import Mode
 from .oplog import (
@@ -80,6 +82,21 @@ class SplitFSConfig:
     #: paper's Table 6 latencies imply the real system relies on ext4's
     #: periodic commit instead; see EXPERIMENTS.md.
     sync_metadata_commits: bool = False
+    # RAS graceful degradation (ENOSPC on the staging-carve path):
+    #: ``None`` = auto: degrade iff the machine has the RAS layer enabled.
+    #: ``False`` keeps the seed behaviour (staging ENOSPC surfaces to the
+    #: caller); ``True`` forces degradation even without a RAS controller.
+    degrade_on_enospc: Optional[bool] = None
+    #: Retry-with-backoff attempts (forced early relink to reclaim staged
+    #: space) before giving up on U-Split and entering degraded mode.
+    enospc_retries: int = 2
+    #: Simulated wait charged per ENOSPC retry.
+    enospc_backoff_ns: float = C.RAS_ENOSPC_BACKOFF_NS
+    #: Minimum simulated time in degraded mode before re-probing staging.
+    repromote_hysteresis_ns: float = C.RAS_REPROMOTE_HYSTERESIS_NS
+    #: Free kernel space required to re-promote to U-Split staging
+    #: (0 = one full staging file, so the pool can actually refill).
+    repromote_free_bytes: int = 0
 
 
 @dataclass
@@ -164,6 +181,15 @@ class SplitFS(FileSystemAPI):
         )
         self.staging: Optional[StagingManager] = None
         self.oplog: Optional[OperationLog] = None
+        # Degraded mode (RAS layer): staging ENOSPC reroutes data ops to the
+        # kernel path until space frees up.  RAS counters are shared with the
+        # machine's controller when one is enabled, so `ras-report` sees the
+        # degradation events; otherwise a private stats block records them.
+        self.degraded = False
+        self.degraded_since = 0.0
+        self.rstats = (
+            self.machine.ras.stats if self.machine.ras is not None else RASStats()
+        )
         if not _defer_setup:
             self._setup()
 
@@ -538,6 +564,9 @@ class SplitFS(FileSystemAPI):
     def _stage_data(self, ufile: UFile, data: bytes, offset: int, op: int) -> None:
         """Route bytes to staging, extending the active run when the write
         continues it (both appends and strict-mode sequential overwrites)."""
+        if self.degraded and not self._maybe_repromote():
+            self._degraded_write(ufile, data, offset)
+            return
         run = ufile.active_run
         if (
             run is not None
@@ -550,9 +579,18 @@ class SplitFS(FileSystemAPI):
             if run is not None:
                 ufile.staged_runs.append(run)
                 ufile.active_run = None
-            run = self._new_staged_run(ufile, offset,
-                                       is_append=op == OP_APPEND,
-                                       size=len(data))
+            try:
+                run = self._new_staged_run(ufile, offset,
+                                           is_append=op == OP_APPEND,
+                                           size=len(data))
+            except NoSpaceFSError:
+                if not self._degradation_enabled:
+                    raise
+                run = self._retry_staging(ufile, offset, op, len(data))
+                if run is None:
+                    self._enter_degraded()
+                    self._degraded_write(ufile, data, offset)
+                    return
             self._staged_store(run, data)
             ufile.active_run = run
         if self.mode.sync_data or op == OP_OVERWRITE:
@@ -568,6 +606,66 @@ class SplitFS(FileSystemAPI):
         carve = self.staging.carve(size, phase=target_off % C.BLOCK_SIZE,
                                    chunk=chunk)
         return StagedRun(carve=carve, target_off=target_off, is_append=is_append)
+
+    # -- graceful degradation (RAS layer) ------------------------------------
+
+    @property
+    def _degradation_enabled(self) -> bool:
+        if self.config.degrade_on_enospc is not None:
+            return self.config.degrade_on_enospc
+        return self.machine.ras is not None
+
+    def _retry_staging(self, ufile: UFile, target_off: int, op: int,
+                       size: int) -> Optional[StagedRun]:
+        """Staging carve hit ENOSPC: retry with backoff, forcing an early
+        relink of every file first so retired staging slack is reclaimed.
+        Returns a run, or ``None`` when the retries are exhausted."""
+        for _ in range(self.config.enospc_retries):
+            self.rstats.enospc_retries += 1
+            self.clock.charge_cpu(self.config.enospc_backoff_ns)
+            try:
+                for uf in list(self.files.values()):
+                    self._relink_file(uf, durable=False)
+                self.kfs.commit_running_txn()
+                return self._new_staged_run(ufile, target_off,
+                                            is_append=op == OP_APPEND,
+                                            size=size)
+            except NoSpaceFSError:
+                continue
+        return None
+
+    def _enter_degraded(self) -> None:
+        """Fall back to routing data ops through the kernel ext4 path."""
+        if not self.degraded:
+            self.degraded = True
+            self.rstats.degraded_entries += 1
+        self.degraded_since = self.clock.now_ns
+
+    def _maybe_repromote(self) -> bool:
+        """Hysteresis-gated return to U-Split staging once space frees."""
+        cfg = self.config
+        if self.clock.now_ns - self.degraded_since < cfg.repromote_hysteresis_ns:
+            return False
+        need = cfg.repromote_free_bytes or cfg.staging_size
+        if self.kfs.alloc.free_blocks * C.BLOCK_SIZE < need:
+            self.degraded_since = self.clock.now_ns  # re-arm the hysteresis
+            return False
+        self.degraded = False
+        self.rstats.degraded_exits += 1
+        return True
+
+    def _degraded_write(self, ufile: UFile, data: bytes, offset: int) -> None:
+        """Serve one data op through the kernel while degraded.
+
+        Sync/strict modes keep synchronous durability via a kernel fsync;
+        strict-mode *atomicity* is weakened to ext4 semantics while degraded
+        (the operation log cannot describe kernel-path writes) — the
+        documented cost of not failing the write.
+        """
+        self.rstats.degraded_ops += 1
+        self.kfs.pwrite(ufile.kfd, data, offset)
+        if self.mode.sync_data:
+            self.kfs.fsync(ufile.kfd)
 
     def _staged_store(self, run: StagedRun, data: bytes) -> None:
         """movnt ``data`` into the run's staging region (no kernel trap)."""

@@ -60,6 +60,10 @@ class ExplorationReport:
     trace: Trace = field(default_factory=Trace)
     states_explored: int = 0
     violations: List[Violation] = field(default_factory=list)
+    #: Set when the sweep ran with the RAS layer: summed repair-ledger
+    #: counters across all explored states (deterministic in the inputs, so
+    #: CI can diff them between runs).
+    ras_totals: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -73,20 +77,26 @@ class ExplorationReport:
             f"  states explored: {self.states_explored}",
             f"  violations found: {len(self.violations)}",
         ]
+        if self.ras_totals is not None:
+            t = self.ras_totals
+            lines.append(
+                "  ras: detected={detected} repaired={repaired} "
+                "unrecoverable={unrecoverable} poisoned_lines={poisoned_lines}"
+                .format(**t))
         for v in self.violations:
             lines.append(f"  VIOLATION {v.describe()}")
         return "\n".join(lines)
 
 
 def _replay_until(kind: str, ops: List[Op], pm_size: int, seed: int,
-                  trigger: CrashTrigger):
+                  trigger: CrashTrigger, ras: bool = False):
     """Run the workload on a fresh machine until ``trigger`` fires.
 
     Returns ``(machine, shadow, outcome)`` with the observer detached and
     the PM state frozen at the trigger instant (or at workload end if the
     trigger never fired).
     """
-    machine, fs = fresh(kind, pm_size, seed=seed)
+    machine, fs = fresh(kind, pm_size, seed=seed, ras=ras)
     shadow = Shadow(KIND_PROPS[kind])
     machine.pm.attach_observer(trigger)
     try:
@@ -97,9 +107,9 @@ def _replay_until(kind: str, ops: List[Op], pm_size: int, seed: int,
 
 
 def record_trace(kind: str, ops: List[Op], pm_size: int = DEFAULT_PM_SIZE,
-                 seed: int = 0) -> Trace:
+                 seed: int = 0, ras: bool = False) -> Trace:
     """One crash-free pass; returns the workload's persistence trace."""
-    machine, fs = fresh(kind, pm_size, seed=seed)
+    machine, fs = fresh(kind, pm_size, seed=seed, ras=ras)
     tracer = PersistenceTracer()
     shadow = Shadow(KIND_PROPS[kind])
     machine.pm.attach_observer(tracer)
@@ -119,19 +129,34 @@ def explore(
     pm_size: int = DEFAULT_PM_SIZE,
     intra: int = 0,
     max_states: Optional[int] = None,
+    ras: bool = False,
+    media_rate: float = 0.0,
 ) -> ExplorationReport:
     """Enumerate and check crash states of one workload on one kind.
 
     ``intra`` adds that many sampled intra-epoch states (with survival and
     tearing of unfenced lines) on top of the exhaustive fence-boundary
     enumeration.  ``max_states`` bounds total states for smoke runs.
+
+    ``ras=True`` runs every replay with the RAS layer enabled;
+    ``media_rate`` additionally scatters seeded-random poison over the
+    RAS-protected metadata regions *after* each crash, so the remount path
+    must detect and repair latent media errors — the oracles then check
+    the *repaired* state.  (Poison is restricted to protected regions:
+    unprotected poison is legitimately unrecoverable and would report EIO
+    mount failures that are not crash-consistency bugs.)
     """
     if kind not in KIND_PROPS:
         raise ValueError(f"unknown file-system kind {kind!r}")
+    if media_rate and not ras:
+        raise ValueError("media_rate requires ras=True")
     if ops is None:
         ops = generate_workload(seed, nops)
     report = ExplorationReport(kind=kind, seed=seed, ops=list(ops))
-    report.trace = record_trace(kind, ops, pm_size, seed)
+    report.trace = record_trace(kind, ops, pm_size, seed, ras=ras)
+    if ras:
+        report.ras_totals = {"detected": 0, "repaired": 0,
+                             "unrecoverable": 0, "poisoned_lines": 0}
 
     # -- exhaustive fence-boundary states ---------------------------------
     fence_indices = range(1, report.trace.fences + 1)
@@ -140,7 +165,8 @@ def explore(
             break
         trigger = CrashTrigger(fence_index=k)
         _explore_one(report, kind, ops, pm_size, seed, trigger,
-                     state=f"fence {k}", policy=CrashPolicy())
+                     state=f"fence {k}", policy=CrashPolicy(),
+                     ras=ras, media_rate=media_rate)
 
     # -- sampled intra-epoch states ---------------------------------------
     rng = random.Random(seed ^ 0x5EED)
@@ -165,7 +191,7 @@ def explore(
         _explore_one(
             report, kind, ops, pm_size, seed, trigger,
             state=f"epoch {epoch} store {store} (policy seed {policy_seed})",
-            policy=policy,
+            policy=policy, ras=ras, media_rate=media_rate,
         )
     return report
 
@@ -179,27 +205,51 @@ def _explore_one(
     trigger: CrashTrigger,
     state: str,
     policy: CrashPolicy,
+    ras: bool = False,
+    media_rate: float = 0.0,
 ) -> None:
-    machine, shadow, outcome = _replay_until(kind, ops, pm_size, seed, trigger)
+    machine, shadow, outcome = _replay_until(kind, ops, pm_size, seed, trigger,
+                                             ras=ras)
     if not outcome.crashed:
         # The trigger never fired (fence index past the end) — skip.
         return
     report.states_explored += 1
     inflight = ops[outcome.inflight] if outcome.inflight is not None else None
     machine.crash(policy)
+    # Counters accumulated during the workload replay belong to that run,
+    # not to the recovery under test: reset them so per-state repair ledgers
+    # (and the summed RAS totals CI diffs) measure recovery alone.
+    machine.faults.reset_counters()
+    if media_rate and machine.ras is not None:
+        poison_seed = (seed * 1_000_003) ^ report.states_explored
+        poisoned = 0
+        for start, end in machine.ras.primary_ranges():
+            poisoned += machine.faults.poison_rate(
+                media_rate, seed=poison_seed ^ start, region=(start, end))
+        if report.ras_totals is not None:
+            report.ras_totals["poisoned_lines"] += poisoned
     try:
-        fs_after = remount(machine, kind)
-    except Exception as exc:
-        report.violations.append(Violation(
-            kind=kind, state=state,
-            inflight=inflight.describe() if inflight else None,
-            messages=[f"remount/recovery failed: {exc!r}"],
-        ))
-        return
-    messages = check_state(kind, fs_after, shadow, inflight)
-    if messages:
-        report.violations.append(Violation(
-            kind=kind, state=state,
-            inflight=inflight.describe() if inflight else None,
-            messages=messages,
-        ))
+        try:
+            fs_after = remount(machine, kind)
+        except Exception as exc:
+            report.violations.append(Violation(
+                kind=kind, state=state,
+                inflight=inflight.describe() if inflight else None,
+                messages=[f"remount/recovery failed: {exc!r}"],
+            ))
+            return
+        messages = check_state(kind, fs_after, shadow, inflight)
+        if messages:
+            report.violations.append(Violation(
+                kind=kind, state=state,
+                inflight=inflight.describe() if inflight else None,
+                messages=messages,
+            ))
+    finally:
+        # Repairs performed during a *failed* recovery still belong in the
+        # ledger — accumulate regardless of which way the remount went.
+        if report.ras_totals is not None and machine.ras is not None:
+            st = machine.ras.stats
+            report.ras_totals["detected"] += st.detected
+            report.ras_totals["repaired"] += st.repaired
+            report.ras_totals["unrecoverable"] += st.unrecoverable

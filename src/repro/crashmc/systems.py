@@ -27,9 +27,17 @@ _SPLITFS_MODES = {
 }
 
 
-def fresh(kind: str, pm_size: int, seed: int = 0) -> Tuple[Machine, FileSystemAPI]:
-    """A freshly formatted instance of ``kind`` on a seeded machine."""
+def fresh(kind: str, pm_size: int, seed: int = 0,
+          ras: bool = False) -> Tuple[Machine, FileSystemAPI]:
+    """A freshly formatted instance of ``kind`` on a seeded machine.
+
+    ``ras=True`` enables the RAS layer before formatting, so the sweep
+    exercises crash states with metadata replicas and repair on the
+    remount path (oracles must hold on *repaired* states too).
+    """
     m = Machine(pm_size, seed=seed)
+    if ras:
+        m.enable_ras()
     if kind == "ext4dax":
         return m, Ext4DaxFS.format(m)
     if kind == "pmfs":

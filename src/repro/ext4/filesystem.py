@@ -50,7 +50,9 @@ from .inode import (Inode, cont_blocks_needed, deserialize_inode,
                     free_inode_block, serialize_inode)
 
 _SB_MAGIC = 0x45585434  # "EXT4"
-_SB_FMT = "<IQIIIII"  # magic, total_blocks, jstart, jblocks, itable_start, max_inodes, data_start
+# magic, total_blocks, jstart, jblocks, itable_start, max_inodes, data_start,
+# ras_replica_start (first block of the RAS metadata mirror; 0 = none)
+_SB_FMT = "<IQIIIIII"
 
 ROOT_INO = 1
 
@@ -97,6 +99,8 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
         self.cost_open = C.EXT4_OPEN_CPU_NS
         self.cost_close = C.EXT4_CLOSE_CPU_NS
         self.cost_unlink = C.EXT4_UNLINK_CPU_NS
+        #: First block of the RAS metadata mirror (0 = no mirror on-media).
+        self.ras_replica_start = 0
 
     # ------------------------------------------------------------------
     # format / mount
@@ -118,24 +122,30 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
         if fs.data_start + 16 > fs.total_blocks:
             raise ValueError("device too small for this Ext4Config")
 
-        sb = struct.pack(
-            _SB_FMT,
-            _SB_MAGIC,
-            fs.total_blocks,
-            jstart,
-            fs.config.journal_blocks,
-            fs.itable_start,
-            fs.config.max_inodes,
-            fs.data_start,
-        )
-        machine.pm.poke(0, sb)
-
         fs._init_journal(jstart, fs.config.journal_blocks)
 
         fs.alloc = ExtentAllocator(
             fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start,
             faults=machine.faults,
         )
+        if machine.ras is not None:
+            machine.ras.forget_all()
+            if machine.ras.config.replicate:
+                # Carve the metadata mirror out of the data region: one block
+                # for the superblock copy, then the whole inode table.
+                mirror = fs.alloc.alloc(1 + fs.config.max_inodes,
+                                        contiguous=True)[0]
+                fs.ras_replica_start = mirror.start
+        machine.pm.poke(0, fs._pack_sb(jstart))
+        if machine.ras is not None:
+            rs = fs.ras_replica_start
+            machine.ras.protect(
+                0, C.BLOCK_SIZE,
+                replica=rs * C.BLOCK_SIZE if rs else None)
+            machine.ras.protect(
+                fs.itable_start * C.BLOCK_SIZE,
+                fs.config.max_inodes * C.BLOCK_SIZE,
+                replica=(rs + 1) * C.BLOCK_SIZE if rs else None)
         root = Inode(ino=ROOT_INO, mode=0o755, is_dir=True, nlink=2)
         fs.inodes[ROOT_INO] = root
         fs.dirs[ROOT_INO] = DirData()
@@ -143,20 +153,46 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
         fs.free_inos = list(range(fs.config.max_inodes - 1, ROOT_INO, -1))
         return fs
 
+    def _pack_sb(self, jstart: int) -> bytes:
+        return struct.pack(
+            _SB_FMT,
+            _SB_MAGIC,
+            self.total_blocks,
+            jstart,
+            self.config.journal_blocks,
+            self.itable_start,
+            self.config.max_inodes,
+            self.data_start,
+            self.ras_replica_start,
+        )
+
     @classmethod
     def mount(cls, machine: Machine) -> "Ext4DaxFS":
         """Mount an existing image: journal recovery, then metadata scan."""
         fs = cls(machine)
         raw = machine.pm.load(0, struct.calcsize(_SB_FMT), category=Category.META_IO)
-        magic, total, jstart, jblocks, itable_start, max_inodes, data_start = struct.unpack(
-            _SB_FMT, raw
-        )
+        (magic, total, jstart, jblocks, itable_start, max_inodes, data_start,
+         ras_replica_start) = struct.unpack(_SB_FMT, raw)
         if magic != _SB_MAGIC:
             raise ValueError("not an ext4 image")
         fs.config = Ext4Config(journal_blocks=jblocks, max_inodes=max_inodes)
         fs.total_blocks = total
         fs.itable_start = itable_start
         fs.data_start = data_start
+        fs.ras_replica_start = ras_replica_start
+        if machine.ras is not None:
+            # Adopt the on-media regions before recovery so poisoned metadata
+            # loads during the scan get repaired from the mirror; checksums
+            # stay stale until the resync below (a rolled-back unfenced store
+            # must not be "repaired" back in from a fresher replica).
+            machine.ras.forget_all()
+            rs = ras_replica_start
+            machine.ras.adopt(
+                0, C.BLOCK_SIZE,
+                replica=rs * C.BLOCK_SIZE if rs else None)
+            machine.ras.adopt(
+                itable_start * C.BLOCK_SIZE, max_inodes * C.BLOCK_SIZE,
+                replica=(rs + 1) * C.BLOCK_SIZE if rs else None)
 
         fs._recover_journal(jstart, jblocks)
 
@@ -164,6 +200,8 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
             total - data_start, clock=fs.clock, first_block=data_start,
             faults=machine.faults,
         )
+        if ras_replica_start:
+            fs.alloc.reserve(ras_replica_start, 1 + max_inodes)
         fs.free_inos = []
 
         def read_cont(block_no: int) -> bytes:
@@ -197,6 +235,8 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
                             )
                         )
                 fs.dirs[ino] = DirData.deserialize(blocks)
+        if machine.ras is not None:
+            machine.ras.resync()
         return fs
 
     # -- journal hooks (PMFS overrides these with its undo journal) -----
@@ -268,6 +308,32 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
             raise AssertionError("directory block not allocated")
         data = self.dirs[dir_ino].serialize_block(block_index)
         self.txn.add_block(phys * C.BLOCK_SIZE, data)
+
+    def ras_protect_file(self, path: str) -> int:
+        """Register a file's data extents with the machine's RAS layer.
+
+        Each physical extent gets a freshly allocated replica extent plus
+        per-block checksums, so a poisoned data read repairs transparently
+        instead of surfacing EIO.  Protection is session-scoped: the replica
+        extents are not recorded in the superblock, so a remount drops them
+        (metadata regions, by contrast, are re-adopted from the superblock).
+        Returns the number of bytes protected.
+        """
+        ras = self.machine.ras
+        if ras is None:
+            raise InvalidArgumentFSError("RAS layer not enabled on this machine")
+        ino = self._resolve(path)
+        inode = self.inodes[ino]
+        protected = 0
+        for ext in inode.extmap.physical_extents():
+            replica = None
+            if ras.config.replicate:
+                replica = self.alloc.alloc(
+                    ext.length, contiguous=True)[0].start * C.BLOCK_SIZE
+            ras.protect(ext.start * C.BLOCK_SIZE, ext.length * C.BLOCK_SIZE,
+                        replica=replica)
+            protected += ext.length * C.BLOCK_SIZE
+        return protected
 
     def _resolve(self, path: str) -> int:
         comps = split_path(path)

@@ -125,13 +125,16 @@ def fsck(fs: Ext4DaxFS) -> FsckReport:
 
     # -- allocator consistency ------------------------------------------------
     quarantined = sum(e.length for e in fs._quarantine)
-    accounted = len(claimed) + fs.alloc.free_blocks + quarantined
+    # The RAS metadata mirror (superblock + inode-table replicas) sits in
+    # the data region but belongs to no inode.
+    ras_mirror = (1 + fs.config.max_inodes) if fs.ras_replica_start else 0
+    accounted = len(claimed) + fs.alloc.free_blocks + quarantined + ras_mirror
     total_data_blocks = fs.total_blocks - fs.data_start
     if accounted != total_data_blocks:
         report.error(
             f"block accounting mismatch: {len(claimed)} claimed + "
-            f"{fs.alloc.free_blocks} free + {quarantined} quarantined "
-            f"!= {total_data_blocks} data blocks"
+            f"{fs.alloc.free_blocks} free + {quarantined} quarantined + "
+            f"{ras_mirror} ras-mirror != {total_data_blocks} data blocks"
         )
     return report
 

@@ -55,15 +55,21 @@ def make_filesystem(
     pm_size: int = DEFAULT_PM_SIZE,
     machine: Optional[Machine] = None,
     splitfs_config: Optional[SplitFSConfig] = None,
+    ras: bool = False,
+    ras_config=None,
 ) -> Tuple[Machine, FileSystemAPI]:
     """Build a freshly formatted file system of the named kind.
 
     Returns ``(machine, fs)``; the machine's clock and device stats hold
-    every measurement an experiment needs.
+    every measurement an experiment needs.  ``ras=True`` enables the online
+    RAS layer (checksums, metadata replication, scrubbing, degraded mode)
+    on the machine before formatting.
     """
     if name not in SYSTEM_NAMES:
         raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
     machine = machine or Machine(pm_size)
+    if ras or ras_config is not None:
+        machine.enable_ras(ras_config)
     if name == "ext4dax":
         return machine, Ext4DaxFS.format(machine)
     if name == "pmfs":

@@ -37,6 +37,22 @@ class Machine:
         self.seed = seed
         self._crash_rng = random.Random(seed) if seed is not None else None
         self.crashes = 0
+        #: Optional :class:`~repro.ras.RASController`; ``None`` until
+        #: :meth:`enable_ras` opts this machine into the RAS layer.
+        self.ras = None
+
+    def enable_ras(self, config=None):
+        """Opt this machine into the online RAS layer (checksums, metadata
+        replication, scrubbing).  Must be called before the file system is
+        formatted/mounted so regions get registered; idempotent."""
+        from ..ras import RASController
+
+        if self.ras is None:
+            self.ras = RASController(self.pm, config)
+            self.pm.ras = self.ras
+        elif config is not None:
+            self.ras.config = config
+        return self.ras
 
     def crash(self, policy: Optional[CrashPolicy] = None) -> None:
         """Power failure: PM loses un-persisted lines, DRAM loses everything."""
@@ -46,3 +62,5 @@ class Machine:
         self.pm.crash(policy)
         if self.dram is not None:
             self.dram.crash()
+        if self.ras is not None:
+            self.ras.on_crash()

@@ -47,7 +47,9 @@ from ..ext4.extents import ExtentMap
 from . import log as L
 
 _SB_MAGIC = 0x4E4F5641  # "NOVA"
-_SB_FMT = "<IQIII"  # magic, total_blocks, itable_start, max_inodes, data_start
+# magic, total_blocks, itable_start, max_inodes, data_start,
+# ras_replica_start (first block of the RAS metadata mirror; 0 = none)
+_SB_FMT = "<IQIIII"
 
 _REC_SIZE = 128
 _RECS_PER_BLOCK = C.BLOCK_SIZE // _REC_SIZE
@@ -119,15 +121,29 @@ class NovaFS(FileSystemAPI, KernelCosts):
         fs.itable_start = 1
         itable_blocks = (fs.config.max_inodes + _RECS_PER_BLOCK - 1) // _RECS_PER_BLOCK
         fs.data_start = fs.itable_start + itable_blocks
-        sb = struct.pack(
-            _SB_FMT, _SB_MAGIC, fs.total_blocks, fs.itable_start,
-            fs.config.max_inodes, fs.data_start,
-        )
-        machine.pm.poke(0, sb)
         fs.alloc = ExtentAllocator(
             fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start,
             faults=machine.faults,
         )
+        ras_replica_start = 0
+        if machine.ras is not None:
+            machine.ras.forget_all()
+            if machine.ras.config.replicate:
+                mirror = fs.alloc.alloc(1 + itable_blocks, contiguous=True)[0]
+                ras_replica_start = mirror.start
+        sb = struct.pack(
+            _SB_FMT, _SB_MAGIC, fs.total_blocks, fs.itable_start,
+            fs.config.max_inodes, fs.data_start, ras_replica_start,
+        )
+        machine.pm.poke(0, sb)
+        if machine.ras is not None:
+            rs = ras_replica_start
+            machine.ras.protect(
+                0, C.BLOCK_SIZE,
+                replica=rs * C.BLOCK_SIZE if rs else None)
+            machine.ras.protect(
+                fs.itable_start * C.BLOCK_SIZE, itable_blocks * C.BLOCK_SIZE,
+                replica=(rs + 1) * C.BLOCK_SIZE if rs else None)
         root = NovaInode(ino=ROOT_INO, mode=0o755, is_dir=True, nlink=2)
         fs.inodes[ROOT_INO] = root
         machine.pm.poke(fs._rec_addr(ROOT_INO), fs._encode_record(root))
@@ -138,17 +154,30 @@ class NovaFS(FileSystemAPI, KernelCosts):
     def mount(cls, machine: Machine, strict: bool = True) -> "NovaFS":
         fs = cls(machine, strict=strict)
         raw = machine.pm.load(0, struct.calcsize(_SB_FMT), category=Category.META_IO)
-        magic, total, itable_start, max_inodes, data_start = struct.unpack(_SB_FMT, raw)
+        (magic, total, itable_start, max_inodes, data_start,
+         ras_replica_start) = struct.unpack(_SB_FMT, raw)
         if magic != _SB_MAGIC:
             raise ValueError("not a NOVA image")
         fs.config = NovaConfig(max_inodes=max_inodes)
         fs.total_blocks = total
         fs.itable_start = itable_start
         fs.data_start = data_start
+        itable_blocks = data_start - itable_start
+        if machine.ras is not None:
+            machine.ras.forget_all()
+            rs = ras_replica_start
+            machine.ras.adopt(
+                0, C.BLOCK_SIZE,
+                replica=rs * C.BLOCK_SIZE if rs else None)
+            machine.ras.adopt(
+                itable_start * C.BLOCK_SIZE, itable_blocks * C.BLOCK_SIZE,
+                replica=(rs + 1) * C.BLOCK_SIZE if rs else None)
         fs.alloc = ExtentAllocator(
             total - data_start, clock=fs.clock, first_block=data_start,
             faults=machine.faults,
         )
+        if ras_replica_start:
+            fs.alloc.reserve(ras_replica_start, 1 + itable_blocks)
         fs.free_inos = []
         for ino in range(max_inodes - 1, 0, -1):
             inode = fs._decode_record(
@@ -173,6 +202,8 @@ class NovaFS(FileSystemAPI, KernelCosts):
                 inode.entries = {
                     n: i for n, i in inode.entries.items() if i in fs.inodes
                 }
+        if machine.ras is not None:
+            machine.ras.resync()
         return fs
 
     # ------------------------------------------------------------------

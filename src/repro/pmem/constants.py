@@ -195,3 +195,28 @@ USPLIT_PER_PAGE_CPU_NS = 150.0
 #: mirroring the paper's Section 4 observation that apps spend 50-80% of time
 #: outside POSIX calls.
 APP_KV_OP_CPU_NS = 400.0
+
+# ---------------------------------------------------------------------------
+# RAS layer (checksums, replication, scrubbing, degraded mode)
+# ---------------------------------------------------------------------------
+
+#: CPU cost of CRC32 over protected bytes (hardware-assisted crc32q streams
+#: at ~10 GB/s on the modelled core, so ~0.1 ns/byte).  Charged on checksum
+#: verification and on recomputing the CRC of a dirtied protected block.
+RAS_CRC_NS_PER_BYTE = 0.1
+#: Fixed CPU per media-error repair: machine-check handling, replica lookup,
+#: remap bookkeeping.  The replica read/write themselves are charged as
+#: ordinary PM traffic on top of this.
+RAS_REPAIR_CPU_NS = 3000.0
+#: Per-byte cost of a scrub sweep over a protected region (sequential reads
+#: at streaming bandwidth plus the CRC check, folded into one rate).
+RAS_SCRUB_NS_PER_BYTE = 0.35
+#: Interval between background scrub passes on the simulated clock.
+RAS_SCRUB_INTERVAL_NS = 50e6
+#: Backoff charged per ENOSPC retry before U-Split gives up on carving a new
+#: staging run and degrades to the kernel path (forced relink + jbd2 commit
+#: latency dominates; this is the additional wait).
+RAS_ENOSPC_BACKOFF_NS = 20000.0
+#: Minimum simulated time U-Split stays degraded before re-probing staging
+#: space (hysteresis — avoids bouncing between modes at the ENOSPC edge).
+RAS_REPROMOTE_HYSTERESIS_NS = 1e6

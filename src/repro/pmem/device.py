@@ -64,6 +64,9 @@ class PersistentMemory:
         self.stats = DeviceStats()
         #: Optional :class:`~repro.pmem.faults.FaultInjector` (set by Machine).
         self.faults = faults
+        #: Optional :class:`~repro.ras.RASController` (set by
+        #: ``machine.enable_ras()``); hooks loads, stores, and fences.
+        self.ras = None
 
     # -- persistence-trace hooks ------------------------------------------------
 
@@ -118,6 +121,10 @@ class PersistentMemory:
         else:
             lines = (size + C.CACHELINE_SIZE - 1) // C.CACHELINE_SIZE
             self.clock.charge(lines * C.STORE_NS, category)
+        if self.faults is not None:
+            self.faults.on_store(addr, size)
+        if self.ras is not None:
+            self.ras.on_store(addr, size)
 
     def persist(self, addr: int, data: bytes, category: Category = Category.META_IO) -> None:
         """Store + clwb + sfence: the 91 ns/line durable-write primitive."""
@@ -138,6 +145,8 @@ class PersistentMemory:
         drained = self.domain.sfence()
         self.stats.fences += 1
         self.clock.charge(C.SFENCE_NS, category)
+        if self.ras is not None:
+            self.ras.maybe_scrub()
         return drained
 
     # -- loads ---------------------------------------------------------------------
@@ -152,7 +161,15 @@ class PersistentMemory:
         """Read ``size`` bytes; charges one access latency plus bandwidth."""
         self._check(addr, size)
         if self.faults is not None:
-            self.faults.check_load(addr, size)
+            try:
+                self.faults.check_load(addr, size)
+            except PMError:
+                # A poisoned line: let the RAS layer try a replica repair
+                # before the error surfaces as EIO.
+                if self.ras is None or not self.ras.try_repair(addr, size):
+                    raise
+        if self.ras is not None:
+            self.ras.verify_load(addr, size)
         self.stats.loads += 1
         self.stats.bytes_read += size
         latency = C.PM_RAND_READ_LATENCY_NS if random_access else C.PM_SEQ_READ_LATENCY_NS
@@ -171,6 +188,10 @@ class PersistentMemory:
         self.domain.note_store(addr, len(data), nontemporal=True)
         self.buf[addr : addr + len(data)] = data
         self.domain.sfence()
+        if self.faults is not None:
+            self.faults.on_store(addr, len(data))
+        if self.ras is not None:
+            self.ras.on_store(addr, len(data), charge=False)
 
     # -- crash ------------------------------------------------------------------------
 

@@ -18,6 +18,7 @@ the matching :class:`~repro.posix.errors.FSError` errno is a robustness bug;
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -34,15 +35,26 @@ class FaultInjector:
     """Machine-wide fault plan; inert until armed.
 
     ``poison(addr, size)`` arms media read errors over a byte range;
-    ``fail_alloc_after(n)`` makes the (n+1)-th allocator request fail with
-    an ENOSPC condition (one-shot, then disarms).  Counters record how many
-    faults actually fired so tests can assert the path was exercised.
+    ``poison_rate(p, seed, region)`` scatters seeded-random poisoned cache
+    lines over a region (reproducible latent-error streams for scrubber and
+    soak tests); ``fail_alloc_after(n)`` makes the (n+1)-th allocator request
+    fail with an ENOSPC condition (one-shot, then disarms);
+    ``fail_alloc_every(n)`` fails every n-th allocation (periodic ENOSPC for
+    degraded-mode soaks).  Counters record how many faults actually fired so
+    tests can assert the path was exercised; ``reset_counters()`` zeroes them
+    (and ``clear()`` now does too — replays must not inherit stale counts).
+
+    A store over a poisoned range clears the poison for the overwritten
+    bytes, modelling the DIMM's internal remap-on-write of bad lines.
     """
 
     poisoned: List[Tuple[int, int]] = field(default_factory=list)
     alloc_countdown: Optional[int] = None
+    alloc_every: Optional[int] = None
     media_faults_fired: int = 0
     alloc_faults_fired: int = 0
+    poison_cleared_by_write: int = 0
+    _alloc_seen: int = 0
 
     # -- arming --------------------------------------------------------------
 
@@ -50,17 +62,84 @@ class FaultInjector:
         """Mark ``[addr, addr+size)`` as returning media errors on load."""
         self.poisoned.append((addr, addr + size))
 
+    def poison_rate(self, p: float, seed: int,
+                    region: Tuple[int, int],
+                    granularity: int = 64) -> int:
+        """Poison each ``granularity``-byte line of ``region`` with
+        probability ``p``, driven by ``seed``.
+
+        Deterministic in ``(p, seed, region, granularity)`` and independent
+        of load order, so scrubber/soak tests get reproducible random error
+        streams.  Returns the number of lines poisoned.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be a probability")
+        rng = random.Random(seed)
+        start, end = region
+        count = 0
+        for addr in range(start, end, granularity):
+            if rng.random() < p:
+                self.poison(addr, min(granularity, end - addr))
+                count += 1
+        return count
+
     def fail_alloc_after(self, n: int) -> None:
         """Let ``n`` more allocations succeed, then fail the next one."""
         self.alloc_countdown = n
 
+    def fail_alloc_every(self, n: int) -> None:
+        """Fail every ``n``-th allocation until cleared (periodic ENOSPC)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.alloc_every = n
+
+    def reset_counters(self) -> None:
+        """Zero the fired-fault counters (between crashmc replay states)."""
+        self.media_faults_fired = 0
+        self.alloc_faults_fired = 0
+        self.poison_cleared_by_write = 0
+        self._alloc_seen = 0
+
     def clear(self) -> None:
         self.poisoned.clear()
         self.alloc_countdown = None
+        self.alloc_every = None
+        self.reset_counters()
 
     @property
     def armed(self) -> bool:
-        return bool(self.poisoned) or self.alloc_countdown is not None
+        return (bool(self.poisoned) or self.alloc_countdown is not None
+                or self.alloc_every is not None)
+
+    # -- queries (used by the RAS layer) -------------------------------------
+
+    def poisoned_overlaps(self, addr: int, size: int) -> List[Tuple[int, int]]:
+        """Poisoned sub-ranges of ``[addr, addr+size)``, clamped and sorted."""
+        out = []
+        for start, end in self.poisoned:
+            s, e = max(addr, start), min(addr + size, end)
+            if s < e:
+                out.append((s, e))
+        out.sort()
+        return out
+
+    def is_poisoned(self, addr: int, size: int) -> bool:
+        return any(addr < end and addr + size > start
+                   for start, end in self.poisoned)
+
+    def unpoison(self, addr: int, size: int) -> None:
+        """Clear poison over ``[addr, addr+size)`` (repair / remap)."""
+        lo, hi = addr, addr + size
+        updated: List[Tuple[int, int]] = []
+        for start, end in self.poisoned:
+            if end <= lo or start >= hi:
+                updated.append((start, end))
+                continue
+            if start < lo:
+                updated.append((start, lo))
+            if end > hi:
+                updated.append((hi, end))
+        self.poisoned[:] = updated
 
     # -- hooks (called by device / allocator) --------------------------------
 
@@ -72,7 +151,20 @@ class FaultInjector:
                     f"uncorrectable media error reading [{addr}, {addr + size})"
                 )
 
+    def on_store(self, addr: int, size: int) -> None:
+        """A store remaps poisoned lines it fully overwrites (device ECC
+        re-established on write, like a real DIMM's internal spare remap)."""
+        if not self.poisoned or not self.is_poisoned(addr, size):
+            return
+        self.unpoison(addr, size)
+        self.poison_cleared_by_write += 1
+
     def on_alloc(self) -> None:
+        if self.alloc_every is not None:
+            self._alloc_seen += 1
+            if self._alloc_seen % self.alloc_every == 0:
+                self.alloc_faults_fired += 1
+                raise NoSpaceFSError("injected periodic allocation failure")
         if self.alloc_countdown is None:
             return
         if self.alloc_countdown <= 0:

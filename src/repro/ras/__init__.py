@@ -1,0 +1,15 @@
+"""Online reliability/availability/serviceability (RAS) layer.
+
+NOVA-Fortis-style fault tolerance for the simulated PM stack: per-block
+CRC32 checksums and mirrored metadata replicas (detected media errors and
+silent corruption are repaired from the replica instead of surfacing EIO),
+a background scrubber driven off the simulated clock, and the accounting
+surface behind ``repro ras-report``.
+
+The layer is opt-in per machine (``machine.enable_ras()``): Table-1
+calibration runs stay byte-identical unless a caller asks for protection.
+"""
+
+from .controller import RASConfig, RASController, RASStats
+
+__all__ = ["RASConfig", "RASController", "RASStats"]

@@ -41,3 +41,26 @@ class TestExplore:
         b = explore("splitfs-strict", nops=4, seed=1, pm_size=PM, intra=3)
         assert a.format() == b.format()
         assert a.states_explored == b.states_explored
+
+
+class TestExploreWithRAS:
+    def test_media_faults_repaired_zero_violations(self):
+        report = explore("ext4dax", nops=6, seed=0, pm_size=PM,
+                         max_states=4, ras=True, media_rate=0.05)
+        assert report.ok, report.format()
+        t = report.ras_totals
+        assert t["poisoned_lines"] > 0
+        assert t["detected"] == t["repaired"] > 0
+        assert t["unrecoverable"] == 0
+
+    def test_ras_ledger_deterministic(self):
+        a = explore("splitfs-posix", nops=4, seed=1, pm_size=PM,
+                    max_states=4, ras=True, media_rate=0.05)
+        b = explore("splitfs-posix", nops=4, seed=1, pm_size=PM,
+                    max_states=4, ras=True, media_rate=0.05)
+        assert a.ras_totals == b.ras_totals
+        assert a.format() == b.format()
+
+    def test_media_rate_requires_ras(self):
+        with pytest.raises(ValueError):
+            explore("ext4dax", nops=2, media_rate=0.01)

@@ -39,6 +39,65 @@ class TestMediaErrors:
         assert machine.faults.media_faults_fired == 1
 
 
+class TestInjectorMechanics:
+    def test_clear_resets_counters(self, machine):
+        machine.faults.poison(0, 64)
+        with pytest.raises(Exception):
+            machine.pm.load(0, 8)
+        assert machine.faults.media_faults_fired == 1
+        machine.faults.clear()
+        assert machine.faults.media_faults_fired == 0
+        assert not machine.faults.armed
+
+    def test_reset_counters_keeps_the_plan_armed(self, machine):
+        machine.faults.poison(0, 64)
+        with pytest.raises(Exception):
+            machine.pm.load(0, 8)
+        machine.faults.reset_counters()
+        assert machine.faults.media_faults_fired == 0
+        assert machine.faults.armed  # the poison itself survives
+        with pytest.raises(Exception):
+            machine.pm.load(0, 8)
+        assert machine.faults.media_faults_fired == 1
+
+    def test_poison_rate_is_deterministic(self, machine):
+        region = (0, 1 << 20)
+        n1 = machine.faults.poison_rate(0.01, seed=42, region=region)
+        lines1 = list(machine.faults.poisoned)
+        machine.faults.clear()
+        n2 = machine.faults.poison_rate(0.01, seed=42, region=region)
+        assert (n1, lines1) == (n2, list(machine.faults.poisoned))
+        assert n1 >= 1
+        machine.faults.clear()
+        assert machine.faults.poison_rate(0.01, seed=43, region=region) != n1 \
+            or list(machine.faults.poisoned) != lines1
+
+    def test_poison_rate_rejects_bad_probability(self, machine):
+        with pytest.raises(ValueError):
+            machine.faults.poison_rate(1.5, seed=0, region=(0, 4096))
+
+    def test_fail_alloc_every_is_periodic(self, machine):
+        from repro.posix.errors import NoSpaceFSError
+
+        machine.faults.fail_alloc_every(3)
+        fired = 0
+        for _ in range(9):
+            try:
+                machine.faults.on_alloc()
+            except NoSpaceFSError:
+                fired += 1
+        assert fired == 3
+        assert machine.faults.alloc_faults_fired == 3
+
+    def test_store_remaps_poisoned_line(self, machine):
+        machine.faults.poison(4096, 64)
+        machine.pm.store(4096, b"\x00" * 64)
+        machine.pm.sfence()
+        assert machine.faults.poison_cleared_by_write == 1
+        assert not machine.faults.is_poisoned(4096, 64)
+        machine.pm.load(4096, 64)  # no longer faults
+
+
 class TestAllocExhaustion:
     def test_enospc_surfaces_with_posix_errno(self, any_fs):
         fs = any_fs

@@ -1,0 +1,114 @@
+"""Replica-based repair and checksum verification on the load path.
+
+The PR's acceptance scenario: a protected file extent is sprayed with
+seeded random poison and read back — with replication the read succeeds
+and the repair ledger shows ``detected == repaired`` and nothing
+unrecoverable; with checksums only (no replica) the same read surfaces a
+clean EIO, never wrong data and never a crash.
+"""
+
+import pytest
+
+from repro.ext4.filesystem import Ext4DaxFS
+from repro.kernel.machine import Machine
+from repro.posix import flags as F
+from repro.posix.errors import InvalidArgumentFSError, IOFSError
+from repro.ras import RASConfig
+
+BLOCK = 4096
+PM = 64 * 1024 * 1024
+
+
+def _protected_victim(machine, payload):
+    """Format, write ``/victim``, protect it; returns (fs, fd, extent)."""
+    fs = Ext4DaxFS.format(machine)
+    fs.write_file("/victim", payload)
+    fd = fs.open("/victim", F.O_RDWR)
+    fs.fsync(fd)
+    assert fs.ras_protect_file("/victim") >= len(payload)
+    ext = fs.inodes[fs._resolve("/victim")].extmap.physical_extents()[0]
+    return fs, fd, (ext.start * BLOCK, (ext.start + ext.length) * BLOCK)
+
+
+class TestReplicaRepair:
+    def test_poisoned_extent_read_repairs_from_replica(self):
+        machine = Machine(PM)
+        ras = machine.enable_ras()
+        payload = bytes(i % 251 for i in range(16 * BLOCK))
+        fs, fd, region = _protected_victim(machine, payload)
+        hits = machine.faults.poison_rate(0.02, seed=3, region=region)
+        assert hits >= 1
+        assert fs.pread(fd, len(payload), 0) == payload
+        assert ras.stats.detected == ras.stats.repaired >= 1
+        assert ras.stats.unrecoverable == 0
+        # The repair remapped the bad lines: nothing stays poisoned.
+        assert not machine.faults.is_poisoned(*_span(region))
+
+    def test_checksum_only_surfaces_clean_eio(self):
+        machine = Machine(PM)
+        ras = machine.enable_ras(RASConfig(replicate=False))
+        payload = bytes(i % 241 for i in range(16 * BLOCK))
+        fs, fd, region = _protected_victim(machine, payload)
+        assert machine.faults.poison_rate(0.02, seed=3, region=region) >= 1
+        with pytest.raises(IOFSError):
+            fs.pread(fd, len(payload), 0)
+        assert ras.stats.detected >= 1
+        assert ras.stats.repaired == 0
+        assert ras.stats.unrecoverable >= 1
+
+    def test_silent_corruption_caught_by_load_checksum(self):
+        """A bit flip the poison model cannot express: the inline CRC on the
+        load path detects it and repairs from the replica."""
+        machine = Machine(PM)
+        ras = machine.enable_ras()
+        payload = bytes(i % 239 for i in range(8 * BLOCK))
+        fs, fd, region = _protected_victim(machine, payload)
+        addr = region[0] + 100
+        machine.pm.buf[addr] ^= 0xFF  # behind the device's back
+        assert fs.pread(fd, len(payload), 0) == payload
+        assert ras.stats.checksum_failures >= 1
+        assert ras.stats.checksum_repaired >= 1
+        assert ras.stats.unrecoverable == 0
+
+    def test_protect_requires_ras(self):
+        machine = Machine(PM)
+        fs = Ext4DaxFS.format(machine)
+        fs.write_file("/f", b"x" * BLOCK)
+        with pytest.raises(InvalidArgumentFSError):
+            fs.ras_protect_file("/f")
+
+
+class TestMetadataReplication:
+    def test_remount_repairs_poisoned_inode_table(self):
+        """Poison the whole on-media inode table while unmounted: the mount
+        path must come back up, repairing from the mirror instead of EIO."""
+        machine = Machine(PM)
+        ras = machine.enable_ras()
+        fs = Ext4DaxFS.format(machine)
+        for i in range(8):
+            fs.write_file(f"/f{i}", bytes([i]) * BLOCK)
+            fd = fs.open(f"/f{i}", F.O_RDWR)
+            fs.fsync(fd)
+            fs.close(fd)
+        machine.crash()
+        # Metadata regions re-adopted at mount: superblock + inode table.
+        itable = sorted(ras.primary_ranges())[-1]
+        machine.faults.poison(itable[0], itable[1] - itable[0])
+        fs2 = Ext4DaxFS.mount(machine)
+        assert ras.stats.media_repaired + machine.faults.poison_cleared_by_write >= 1
+        assert ras.stats.unrecoverable == 0
+        for i in range(8):
+            assert fs2.read_file(f"/f{i}") == bytes([i]) * BLOCK
+
+    def test_mirror_survives_fsck_accounting(self):
+        from repro.ext4.fsck import assert_clean
+
+        machine = Machine(PM)
+        machine.enable_ras()
+        fs = Ext4DaxFS.format(machine)
+        fs.write_file("/a", b"a" * BLOCK)
+        assert_clean(fs)
+
+
+def _span(region):
+    return region[0], region[1] - region[0]
