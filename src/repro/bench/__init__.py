@@ -1,6 +1,6 @@
 """Benchmark harness regenerating every table and figure in the paper."""
 
-from . import harness, report, trace
+from . import harness, report, trace, wallclock
 from .harness import (
     Measurement,
     append_4k_workload,
@@ -18,6 +18,7 @@ __all__ = [
     "harness",
     "report",
     "trace",
+    "wallclock",
     "Measurement",
     "build",
     "measure",

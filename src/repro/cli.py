@@ -117,6 +117,63 @@ def cmd_crashmc(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import wallclock as wc
+
+    if not args.wallclock:
+        print("repro bench: only --wallclock is implemented", file=sys.stderr)
+        return 2
+
+    if args.verify:
+        mismatches = wc.verify_equivalence(repeats=1)
+        if mismatches:
+            for line in mismatches:
+                print(f"VERIFY FAIL {line}")
+            return 1
+        print(f"verify: {len(wc.WORKLOADS)} workloads bit-identical under "
+              f"fast and reference implementations")
+        return 0
+
+    results = wc.run_suite(repeats=args.repeats)
+    golden = None
+    reference = None
+    if args.check or args.output:
+        try:
+            golden = wc.load_golden(args.check or args.output)
+            reference = golden.get("reference")
+        except FileNotFoundError:
+            golden = None
+
+    rows = []
+    for name, r in results.items():
+        sim = (r["sim_digest"][:16] if "sim_digest" in r
+               else f"{r['total_ns']:.1f}")
+        ref_wall = (reference or {}).get(name, {}).get("wall_s")
+        speedup = (f"{float(ref_wall) / r['wall_s']:.2f}x"
+                   if ref_wall else "-")
+        rows.append([name, sim, f"{r['wall_s'] * 1e3:.1f}", speedup])
+    print(render_table(
+        "Wall-clock bench (simulated results gated, wall informational)",
+        ["workload", "simulated ns / digest", "wall ms", "vs reference"],
+        rows))
+
+    if args.check:
+        if golden is None:
+            print(f"check: golden file {args.check} not found",
+                  file=sys.stderr)
+            return 1
+        problems = wc.check_against_golden(results, golden)
+        if problems:
+            for line in problems:
+                print(f"CHECK FAIL {line}")
+            return 1
+        print(f"check: simulated results match {args.check}")
+    if args.output:
+        wc.write_golden(wc.emit_golden(results, reference), args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_ras_report(args: argparse.Namespace) -> int:
     from .ras.report import run_ras_report
 
@@ -194,6 +251,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "repaired states")
 
     p = sub.add_parser(
+        "bench", help="simulator wall-clock benchmarks")
+    p.add_argument("--wallclock", action="store_true",
+                   help="run the wall-clock suite (required; the only mode)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="runs per workload; best wall time is kept")
+    p.add_argument("--verify", action="store_true",
+                   help="run fast and _reference_ implementations; fail "
+                        "unless simulated results are bit-identical")
+    p.add_argument("--check", metavar="GOLDEN",
+                   help="fail if simulated results differ from this "
+                        "committed BENCH_wallclock.json")
+    p.add_argument("--output", metavar="PATH",
+                   help="write results (preserving any recorded reference "
+                        "block) to PATH")
+
+    p = sub.add_parser(
         "ras-report",
         help="RAS layer: checksum overhead, repair ledger, degraded mode")
     p.add_argument("--system", default="splitfs-posix", choices=SYSTEM_NAMES)
@@ -210,6 +283,7 @@ _COMMANDS = {
     "iopatterns": cmd_iopatterns,
     "ycsb": cmd_ycsb,
     "crashmc": cmd_crashmc,
+    "bench": cmd_bench,
     "ras-report": cmd_ras_report,
     "crashdemo": cmd_crashdemo,
 }

@@ -538,15 +538,23 @@ class SplitFS(FileSystemAPI):
         self.clock.charge_cpu(npages * C.USPLIT_PER_PAGE_CPU_NS)
         self.mmaps.ensure(ufile.ino, offset, len(data), extmap)
         pos = 0
+        filled_hole = False
         for addr, run_len in extmap.map_byte_range(offset, len(data)):
             if addr is None:
                 # Hole inside committed size: fall back to the kernel, which
                 # allocates blocks (rare; sparse files only).
                 self.kfs.pwrite(ufile.kfd, data[pos : pos + run_len], offset + pos)
+                filled_hole = True
             else:
                 self.pm.store(addr, data[pos : pos + run_len], category=Category.DATA)
             pos += run_len
         self.pm.sfence(category=Category.CPU)
+        if filled_hole:
+            # The hole fill allocated blocks whose extent-tree update is
+            # only journaled; an in-place overwrite is synchronous, so
+            # commit it — otherwise a crash reverts the allocation and the
+            # "durable" bytes read back as zeros.
+            self.kfs.fsync(ufile.kfd)
 
     # -- appends (and writes beyond EOF) ----------------------------------------------
 

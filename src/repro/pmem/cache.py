@@ -11,13 +11,21 @@ crash would lose, and can roll the backing buffer back to its durable image.
 Crash policies model the real-world uncertainty that an unflushed line may
 still have been evicted (and thus persisted) before the crash, and that a
 line's durability is only atomic at 8-byte granularity (torn lines).
+
+The line bookkeeping is on the simulator's hottest path (every store on every
+device goes through :meth:`PersistenceDomain.note_store`), so multi-line
+stores are handled with range arithmetic and bulk container operations
+instead of a Python loop per 64-byte line.  The original per-line loops are
+kept as ``_reference_*`` methods; ``repro bench --wallclock --verify`` runs
+workloads under both and asserts identical simulated results.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Optional, Protocol, Set, Tuple
+from dataclasses import dataclass, field, replace
+from itertools import repeat
+from typing import Dict, Iterable, List, Optional, Protocol, Set, Tuple, Union
 
 from .constants import CACHELINE_SIZE
 
@@ -61,16 +69,26 @@ class CrashPolicy:
     pending_survive_probability: float = 0.0
     tear_lines: bool = False
     seed: Optional[int] = None
+    # The policy's RNG is created lazily on first use and then *kept*, so
+    # repeated crashes through one policy instance advance a single seeded
+    # stream instead of replaying identical outcomes.  Excluded from
+    # comparison/repr so CrashPolicy keeps value semantics.
+    _rng: Optional[random.Random] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def rng(self) -> random.Random:
-        return random.Random(self.seed)
+        if self._rng is None:
+            self._rng = random.Random(self.seed)
+        return self._rng
 
     def with_seed(self, seed: int) -> "CrashPolicy":
         """A copy of this policy with ``seed`` filled in (if unset).
 
         :meth:`repro.kernel.machine.Machine.crash` uses this to thread a
         machine-level seed into otherwise-unseeded policies, so every
-        probabilistic crash outcome is replayable.
+        probabilistic crash outcome is replayable.  The copy starts a fresh
+        RNG stream (``dataclasses.replace`` does not carry ``_rng`` over).
         """
         if self.seed is not None:
             return self
@@ -87,12 +105,44 @@ class PersistenceDomain:
 
     def __init__(self, buf: bytearray) -> None:
         self.buf = buf
-        # line index -> durable content of that line
-        self._preimages: Dict[int, bytes] = {}
+        # line index -> durable content of that line.  The value is either
+        # the line's 64 bytes directly, or a shared ``(base_line, blob)``
+        # segment covering a whole multi-line store: every line of the span
+        # references one blob and its preimage is sliced out lazily (only
+        # crashes read preimage *values*; the hot path only tests keys).
+        self._preimages: Dict[int, Union[bytes, Tuple[int, bytes]]] = {}
         # line indexes flushed (clwb/movnt) but not yet fenced
         self._pending_fence: Set[int] = set()
-        # optional persistence-trace hook (see DomainObserver)
-        self.observer: Optional[DomainObserver] = None
+        # persistence-trace hooks (see DomainObserver), fired in attach order
+        self._observers: List[DomainObserver] = []
+
+    # -- observers ----------------------------------------------------------
+
+    @property
+    def observer(self) -> Optional[DomainObserver]:
+        """The first attached observer (legacy single-observer view)."""
+        return self._observers[0] if self._observers else None
+
+    @observer.setter
+    def observer(self, obs: Optional[DomainObserver]) -> None:
+        self._observers = [] if obs is None else [obs]
+
+    def add_observer(self, obs: DomainObserver) -> None:
+        """Attach ``obs``; observers chain and all see every event."""
+        if any(existing is obs for existing in self._observers):
+            raise ValueError("observer is already attached")
+        self._observers.append(obs)
+
+    def remove_observer(self, obs: Optional[DomainObserver] = None) -> None:
+        """Detach ``obs`` (or every observer when ``obs`` is None)."""
+        if obs is None:
+            self._observers = []
+            return
+        for i, existing in enumerate(self._observers):
+            if existing is obs:
+                del self._observers[i]
+                return
+        raise ValueError("observer is not attached")
 
     # -- line bookkeeping ---------------------------------------------------
 
@@ -109,38 +159,73 @@ class PersistenceDomain:
         """
         if size <= 0:
             return
-        if self.observer is not None:
-            self.observer.on_store(addr, size, nontemporal)
-        for line in self._line_range(addr, size):
-            if line not in self._preimages:
-                start = line * CACHELINE_SIZE
-                self._preimages[line] = bytes(self.buf[start : start + CACHELINE_SIZE])
+        for obs in self._observers:
+            obs.on_store(addr, size, nontemporal)
+        first = addr // CACHELINE_SIZE
+        last = (addr + size - 1) // CACHELINE_SIZE
+        pre = self._preimages
+        if first == last:
+            # Scalar path: sub-line stores (oplog entries, journal records,
+            # inode fields) dominate metadata-heavy workloads.
+            if first not in pre:
+                start = first * CACHELINE_SIZE
+                pre[first] = bytes(self.buf[start : start + CACHELINE_SIZE])
             if nontemporal:
-                self._pending_fence.add(line)
+                self._pending_fence.add(first)
             else:
-                # A temporal store to a line that was already flushed-but-not-
-                # fenced re-dirties it.
-                self._pending_fence.discard(line)
+                self._pending_fence.discard(first)
+            return
+        lines = range(first, last + 1)
+        if not pre or pre.keys().isdisjoint(lines):
+            # Fast path: no line in the range is tracked yet.  Capture the
+            # whole span's durable image once and let every line share it as
+            # a (base_line, blob) segment — no per-line 64-byte copies.
+            base = first * CACHELINE_SIZE
+            blob = bytes(memoryview(self.buf)[base : (last + 1) * CACHELINE_SIZE])
+            pre.update(zip(lines, repeat((first, blob))))
+        else:
+            buf = self.buf
+            for line in lines:
+                if line not in pre:
+                    start = line * CACHELINE_SIZE
+                    pre[line] = bytes(buf[start : start + CACHELINE_SIZE])
+        if nontemporal:
+            self._pending_fence.update(lines)
+        else:
+            # A temporal store to a line that was already flushed-but-not-
+            # fenced re-dirties it.
+            self._pending_fence.difference_update(lines)
 
     def clwb(self, addr: int, size: int) -> int:
         """Flush dirty lines covering the range; returns lines flushed."""
-        if self.observer is not None:
-            self.observer.on_clwb(addr, size)
-        flushed = 0
-        for line in self._line_range(addr, size):
-            if line in self._preimages and line not in self._pending_fence:
-                self._pending_fence.add(line)
-                flushed += 1
-        return flushed
+        for obs in self._observers:
+            obs.on_clwb(addr, size)
+        pre = self._preimages
+        if not pre:
+            return 0
+        pending = self._pending_fence
+        newly = [
+            line
+            for line in self._line_range(addr, size)
+            if line in pre and line not in pending
+        ]
+        pending.update(newly)
+        return len(newly)
 
     def sfence(self) -> int:
         """Fence: everything flushed becomes durable.  Returns lines drained."""
-        if self.observer is not None:
-            self.observer.on_fence()
-        drained = len(self._pending_fence)
-        for line in self._pending_fence:
-            self._preimages.pop(line, None)
-        self._pending_fence.clear()
+        for obs in self._observers:
+            obs.on_fence()
+        pending = self._pending_fence
+        drained = len(pending)
+        if drained:
+            pre = self._preimages
+            if drained == len(pre):
+                pre.clear()
+            else:
+                for line in pending:
+                    pre.pop(line, None)
+            pending.clear()
         return drained
 
     # -- introspection -------------------------------------------------------
@@ -158,7 +243,7 @@ class PersistenceDomain:
 
     def is_durable(self, addr: int, size: int) -> bool:
         """True if the whole range is identical in the durable image."""
-        return not any(line in self._preimages for line in self._line_range(addr, size))
+        return self._preimages.keys().isdisjoint(self._line_range(addr, size))
 
     # -- crash ----------------------------------------------------------------
 
@@ -176,6 +261,11 @@ class PersistenceDomain:
             else:
                 p = policy.survive_probability
             start = line * CACHELINE_SIZE
+            if type(preimage) is not bytes:
+                # Shared segment: slice this line's preimage out of the blob.
+                seg_base, blob = preimage
+                off = (line - seg_base) * CACHELINE_SIZE
+                preimage = blob[off : off + CACHELINE_SIZE]
             if p > 0.0 and rng.random() < p:
                 if policy.tear_lines:
                     # Only a random subset of the line's 8-byte words persist.
@@ -190,3 +280,42 @@ class PersistenceDomain:
         self._preimages.clear()
         self._pending_fence.clear()
         return lost, survived
+
+    # -- reference (pre-optimization) implementations ------------------------
+    #
+    # The original per-line loops, kept verbatim: the wall-clock bench
+    # harness swaps these in under ``--verify`` and asserts the simulated
+    # results match the batched fast paths above.
+
+    def _reference_note_store(self, addr: int, size: int, nontemporal: bool) -> None:
+        if size <= 0:
+            return
+        for obs in self._observers:
+            obs.on_store(addr, size, nontemporal)
+        for line in self._line_range(addr, size):
+            if line not in self._preimages:
+                start = line * CACHELINE_SIZE
+                self._preimages[line] = bytes(self.buf[start : start + CACHELINE_SIZE])
+            if nontemporal:
+                self._pending_fence.add(line)
+            else:
+                self._pending_fence.discard(line)
+
+    def _reference_clwb(self, addr: int, size: int) -> int:
+        for obs in self._observers:
+            obs.on_clwb(addr, size)
+        flushed = 0
+        for line in self._line_range(addr, size):
+            if line in self._preimages and line not in self._pending_fence:
+                self._pending_fence.add(line)
+                flushed += 1
+        return flushed
+
+    def _reference_sfence(self) -> int:
+        for obs in self._observers:
+            obs.on_fence()
+        drained = len(self._pending_fence)
+        for line in self._pending_fence:
+            self._preimages.pop(line, None)
+        self._pending_fence.clear()
+        return drained

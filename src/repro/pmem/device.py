@@ -75,12 +75,16 @@ class PersistentMemory:
 
         The observer sees every store/clwb/fence in program order; the
         crash-model checker uses one to record traces and trigger crashes at
-        chosen persistence events.
+        chosen persistence events.  Observers chain: attaching a second one
+        (e.g. a crashmc tracer while a RAS wear tracer is installed) keeps
+        both live, fired in attach order.  Attaching the same observer twice
+        raises ``ValueError``.
         """
-        self.domain.observer = observer
+        self.domain.add_observer(observer)
 
-    def detach_observer(self) -> None:
-        self.domain.observer = None
+    def detach_observer(self, observer=None) -> None:
+        """Detach ``observer``, or every attached observer when ``None``."""
+        self.domain.remove_observer(observer)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -105,17 +109,22 @@ class PersistentMemory:
         stores are cheap but stay volatile until ``clwb`` + fence.
         """
         size = len(data)
-        self._check(addr, size)
+        if addr < 0 or size < 0 or addr + size > self.size:
+            raise PMError(f"access [{addr}, {addr + size}) outside device of {self.size}")
         if size == 0:
             return
+        # One batched domain update covers the whole (possibly multi-line)
+        # store; the line bookkeeping inside is range arithmetic, not a
+        # per-line loop.
         self.domain.note_store(addr, size, nontemporal=nontemporal)
         self.buf[addr : addr + size] = data
-        self.stats.stores += 1
-        self.stats.bytes_written += size
+        stats = self.stats
+        stats.stores += 1
+        stats.bytes_written += size
         if category is Category.DATA:
-            self.stats.data_bytes_written += size
+            stats.data_bytes_written += size
         else:
-            self.stats.meta_bytes_written += size
+            stats.meta_bytes_written += size
         if nontemporal:
             self.clock.charge(size * C.PM_WRITE_NS_PER_BYTE, category)
         else:
@@ -174,7 +183,8 @@ class PersistentMemory:
         self.stats.bytes_read += size
         latency = C.PM_RAND_READ_LATENCY_NS if random_access else C.PM_SEQ_READ_LATENCY_NS
         self.clock.charge(latency + size * C.PM_READ_NS_PER_BYTE, category)
-        return bytes(self.buf[addr : addr + size])
+        # Single-copy read: slicing the bytearray first would copy twice.
+        return bytes(memoryview(self.buf)[addr : addr + size])
 
     def peek(self, addr: int, size: int) -> bytes:
         """Read without charging time (for assertions and recovery scans that

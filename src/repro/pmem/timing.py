@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 
 class Category(enum.Enum):
@@ -132,7 +132,14 @@ class MeasureScope:
         return self.account
 
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
-        self._clock._scopes.remove(self.account)
+        # Remove by identity, not value: TimeAccount is a value-equal
+        # dataclass, so list.remove() could pop a *different* nested scope
+        # whose charges happen to be equal (e.g. two empty accounts).
+        scopes = self._clock._scopes
+        for i in range(len(scopes) - 1, -1, -1):
+            if scopes[i] is self.account:
+                del scopes[i]
+                break
         self._active = False
 
 
@@ -140,12 +147,25 @@ def iter_categories() -> Iterator[Category]:
     return iter(Category)
 
 
-def format_ns(ns: float, precision: int = 0) -> str:
-    """Render a nanosecond quantity with a human-friendly unit."""
+def format_ns(ns: float, precision: Optional[int] = None) -> str:
+    """Render a nanosecond quantity with a human-friendly unit.
+
+    ``precision`` is honoured on every branch; when omitted, scaled units
+    (s/ms/us) default to 2 decimals and bare nanoseconds to 0.
+
+    >>> format_ns(2_500_000)
+    '2.50ms'
+    >>> format_ns(2_500_000, precision=0)
+    '2ms'
+    >>> format_ns(1_234, precision=3)
+    '1.234us'
+    >>> format_ns(42.6)
+    '43ns'
+    """
     if ns >= 1e9:
-        return f"{ns / 1e9:.2f}s"
+        return f"{ns / 1e9:.{2 if precision is None else precision}f}s"
     if ns >= 1e6:
-        return f"{ns / 1e6:.2f}ms"
+        return f"{ns / 1e6:.{2 if precision is None else precision}f}ms"
     if ns >= 1e3:
-        return f"{ns / 1e3:.2f}us"
-    return f"{ns:.{precision}f}ns"
+        return f"{ns / 1e3:.{2 if precision is None else precision}f}us"
+    return f"{ns:.{0 if precision is None else precision}f}ns"

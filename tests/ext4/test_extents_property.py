@@ -90,3 +90,94 @@ def test_punch_then_reinsert_round_trips(logical, length, punch_at, punch_len):
         cursor += ext.length
     for lb in range(logical, logical + length):
         assert em.lookup_block(lb) == 500 + (lb - logical)
+
+
+# ---------------------------------------------------------------------------
+# Bisect fast paths vs. the _reference_* linear oracles
+# ---------------------------------------------------------------------------
+#
+# The O(log n) lookup/insert paths (cursor + bisect index) must be
+# observationally identical to the original O(n) implementations they
+# replaced, including over holes, extent-straddling byte ranges, and the
+# empty map.  Interleaved queries deliberately drag the last-hit cursor
+# around before each comparison.
+
+BLOCK = 4096
+
+
+def _build_maps(extent_spec):
+    """Two identical maps (fast inserts vs reference inserts), or None if
+    the spec self-overlaps."""
+    fast, ref = ExtentMap(), ExtentMap()
+    phys = 1000
+    for logical, length in extent_spec:
+        try:
+            fast.insert(logical, phys, length)
+        except ValueError:
+            return None
+        ref._reference_insert(logical, phys, length)
+        phys += length + 5  # gap: avoid accidental physical coalescing
+    return fast, ref
+
+
+extent_spec_st = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=MAX_LOGICAL),
+        st.integers(min_value=1, max_value=12),
+    ),
+    max_size=12,
+)
+
+
+@given(spec=extent_spec_st, queries=st.lists(
+    st.integers(min_value=0, max_value=MAX_LOGICAL + 16), max_size=40))
+@settings(max_examples=150)
+def test_lookup_block_matches_reference(spec, queries):
+    maps = _build_maps(spec)
+    if maps is None:
+        return
+    fast, ref = maps
+    assert fast.extents == ref.extents
+    for logical in queries:
+        assert fast.lookup_block(logical) == \
+            fast._reference_lookup_block(logical)
+        assert fast.lookup_block(logical) == ref.lookup_block(logical)
+
+
+@given(spec=extent_spec_st, ranges=st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(MAX_LOGICAL + 16) * BLOCK),
+        st.integers(min_value=0, max_value=8 * BLOCK),
+    ),
+    max_size=25))
+@settings(max_examples=150)
+def test_map_byte_range_matches_reference(spec, ranges):
+    maps = _build_maps(spec)
+    if maps is None:
+        return
+    fast, _ = maps
+    for offset, size in ranges:
+        got = fast.map_byte_range(offset, size)
+        want = fast._reference_map_byte_range(offset, size)
+        assert got == want
+        # Pieces tile the request exactly.
+        assert sum(run for _, run in got) == size
+
+
+def test_empty_map_edge_cases():
+    em = ExtentMap()
+    assert em.lookup_block(0) is None
+    assert em.map_byte_range(0, 0) == em._reference_map_byte_range(0, 0) == []
+    assert em.map_byte_range(123, 4096) == \
+        em._reference_map_byte_range(123, 4096) == [(None, 4096)]
+
+
+def test_sequential_scan_uses_cursor_and_stays_correct():
+    em = ExtentMap()
+    for i in range(0, 40, 4):
+        em.insert(i, 2000 + i * 7, 2)  # every other 2-block extent: holes
+    for lb in range(44):
+        assert em.lookup_block(lb) == em._reference_lookup_block(lb)
+    # Backwards scan after the cursor was dragged to the end.
+    for lb in reversed(range(44)):
+        assert em.lookup_block(lb) == em._reference_lookup_block(lb)

@@ -140,3 +140,109 @@ class TestCrashPolicies:
         domain.crash()
         assert domain.dirty_line_count == 0
         assert domain.pending_line_count == 0
+
+
+class TestCrashPolicyRNG:
+    @staticmethod
+    def _crash_once(policy):
+        buf = bytearray(64 * CACHELINE_SIZE)
+        d = PersistenceDomain(buf)
+        d.note_store(0, len(buf), nontemporal=False)
+        return d.crash(policy)
+
+    def test_repeated_crashes_advance_one_stream(self):
+        # Regression: rng() used to build a fresh random.Random(seed) on
+        # every call, so each crash through one policy replayed the exact
+        # same survival outcome.
+        policy = CrashPolicy(survive_probability=0.5, seed=42)
+        outcomes = [self._crash_once(policy) for _ in range(10)]
+        assert len(set(outcomes)) > 1
+
+    def test_same_seed_replays_identically(self):
+        def run():
+            policy = CrashPolicy(survive_probability=0.5, seed=9)
+            return [self._crash_once(policy) for _ in range(6)]
+
+        assert run() == run()
+
+    def test_with_seed_copies_start_fresh_streams(self):
+        base = CrashPolicy(survive_probability=0.5)
+        first = [self._crash_once(base.with_seed(5)) for _ in range(1)]
+        # A second with_seed copy must replay the first copy's stream from
+        # the start, not continue it.
+        again = [self._crash_once(base.with_seed(5)) for _ in range(1)]
+        assert first == again
+
+
+class _Recorder:
+    def __init__(self):
+        self.events = []
+
+    def on_store(self, addr, size, nontemporal):
+        self.events.append(("store", addr, size, nontemporal))
+
+    def on_clwb(self, addr, size):
+        self.events.append(("clwb", addr, size))
+
+    def on_fence(self):
+        self.events.append(("fence",))
+
+
+class TestObserverChaining:
+    def test_two_observers_both_see_every_event(self, buf, domain):
+        # Regression: the domain used to hold a single observer slot, so a
+        # second attach (e.g. crashmc's tracer on top of a RAS hook)
+        # silently clobbered the first.
+        a, b = _Recorder(), _Recorder()
+        domain.add_observer(a)
+        domain.add_observer(b)
+        domain.note_store(0, 8, nontemporal=False)
+        domain.clwb(0, 8)
+        domain.sfence()
+        assert a.events == b.events
+        assert [e[0] for e in a.events] == ["store", "clwb", "fence"]
+
+    def test_double_attach_same_instance_raises(self, domain):
+        a = _Recorder()
+        domain.add_observer(a)
+        with pytest.raises(ValueError, match="already attached"):
+            domain.add_observer(a)
+
+    def test_remove_specific_observer(self, domain):
+        a, b = _Recorder(), _Recorder()
+        domain.add_observer(a)
+        domain.add_observer(b)
+        domain.remove_observer(a)
+        domain.note_store(0, 8, nontemporal=False)
+        assert a.events == []
+        assert len(b.events) == 1
+        with pytest.raises(ValueError, match="not attached"):
+            domain.remove_observer(a)
+
+    def test_legacy_observer_property(self, domain):
+        a = _Recorder()
+        assert domain.observer is None
+        domain.observer = a
+        assert domain.observer is a
+        domain.observer = None
+        assert domain.observer is None
+
+    def test_device_level_chaining(self):
+        # crashmc --ras style: a persistence tracer attached while another
+        # hook is already watching the same device.
+        from repro.pmem.device import PersistentMemory
+        from repro.pmem.timing import SimClock
+
+        pm = PersistentMemory(1 << 20, SimClock())
+        a, b = _Recorder(), _Recorder()
+        pm.attach_observer(a)
+        pm.attach_observer(b)
+        pm.store(0, b"x" * 128, nontemporal=True)
+        pm.sfence()
+        assert a.events == b.events and len(a.events) == 2
+        pm.detach_observer(a)
+        pm.store(0, b"y" * 64, nontemporal=True)
+        assert len(b.events) == 3 and len(a.events) == 2
+        pm.detach_observer()
+        pm.store(0, b"z" * 64, nontemporal=True)
+        assert len(b.events) == 3

@@ -94,3 +94,51 @@ class TestFormatNs:
     )
     def test_units(self, ns, expected):
         assert format_ns(ns) == expected
+
+
+class TestMeasureScopeIdentity:
+    def test_equal_nested_scopes_exit_removes_inner_only(self):
+        # Regression: TimeAccount is a value-equal dataclass, and scope exit
+        # used list.remove(), which pops the *first* equal element.  Exiting
+        # the inner of two still-empty (hence equal) scopes detached the
+        # outer one, so charges made after the inner block were lost to it.
+        clock = SimClock()
+        with clock.measure() as outer:
+            with clock.measure() as inner:
+                pass  # both accounts are all-zero, i.e. value-equal, here
+            clock.charge(7, Category.CPU)
+        assert outer.total_ns == 7
+        assert inner.total_ns == 0
+        assert clock._scopes == []
+
+    def test_interleaved_equal_scopes(self):
+        clock = SimClock()
+        outer_scope = clock.measure()
+        inner_scope = clock.measure()
+        outer_scope.__enter__()
+        inner_scope.__enter__()
+        inner_scope.__exit__(None, None, None)
+        clock.charge(3, Category.DATA)
+        outer_scope.__exit__(None, None, None)
+        assert outer_scope.account.total_ns == 3
+        assert inner_scope.account.total_ns == 0
+
+
+class TestFormatNsPrecision:
+    # Regression: precision used to be honoured only on the bare-ns branch.
+    @pytest.mark.parametrize(
+        "ns,precision,expected",
+        [
+            (3_000_000_000, 1, "3.0s"),
+            (2_500_000, 0, "2ms"),
+            (2_500_000, 3, "2.500ms"),
+            (1_234, 3, "1.234us"),
+            (42, 2, "42.00ns"),
+            (42.6, None, "43ns"),
+        ],
+    )
+    def test_precision_honoured_on_every_unit(self, ns, precision, expected):
+        if precision is None:
+            assert format_ns(ns) == expected
+        else:
+            assert format_ns(ns, precision=precision) == expected
