@@ -117,6 +117,52 @@ def cmd_crashmc(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .difftest import (
+        emit_pytest_reproducer,
+        generate_ops,
+        minimize_divergence,
+        run_crash_differential,
+        run_differential,
+    )
+
+    kinds = (tuple(SYSTEM_NAMES) if not args.fs or "all" in args.fs
+             else tuple(args.fs))
+    pm_size = args.pm_mb << 20
+    failed = False
+    for seed in range(args.seed, args.seed + args.budget):
+        ops = generate_ops(seed, args.ops)
+        report = run_differential(ops, kinds=kinds, pm_size=pm_size,
+                                  seed=seed)
+        print(report.format())
+        if not report.ok:
+            failed = True
+            if args.minimize or args.emit_repro:
+                small = minimize_divergence(ops, kinds=kinds,
+                                            pm_size=pm_size)
+                print(f"  minimized to {len(small.ops)} op(s):")
+                for op in small.ops:
+                    print(f"    {op.describe()}")
+                if args.emit_repro:
+                    source = emit_pytest_reproducer(
+                        small, title=f"seed {seed}, {args.ops} ops")
+                    with open(args.emit_repro, "w") as fh:
+                        fh.write(source)
+                    print(f"  reproducer written to {args.emit_repro}")
+            continue
+        if args.crash:
+            crash_reports = run_crash_differential(
+                ops, kinds=kinds, seed=seed, pm_size=pm_size,
+                max_states=args.max_states)
+            for kind, crep in crash_reports.items():
+                if crep.ok:
+                    print(f"  crash-differential {kind}: ok")
+                else:
+                    failed = True
+                    print(crep.format())
+    return 1 if failed else 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import wallclock as wc
 
@@ -251,6 +297,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "repaired states")
 
     p = sub.add_parser(
+        "fuzz", help="model-based differential fuzzing (repro.difftest)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="first seed of the sweep")
+    p.add_argument("--ops", type=int, default=300,
+                   help="ops per generated sequence")
+    p.add_argument("--budget", type=int, default=1,
+                   help="number of consecutive seeds to sweep")
+    p.add_argument("--fs", action="append",
+                   choices=list(SYSTEM_NAMES) + ["all"],
+                   help="file system kind to compare (repeatable; "
+                        "default all)")
+    p.add_argument("--pm-mb", type=int, default=96)
+    p.add_argument("--crash", action="store_true",
+                   help="also project each clean sequence onto the crashmc "
+                        "vocabulary and enumerate its crash states")
+    p.add_argument("--max-states", type=int, default=None,
+                   help="bound crash states per system (with --crash)")
+    p.add_argument("--minimize", action="store_true",
+                   help="on divergence, ddmin the sequence and print it")
+    p.add_argument("--emit-repro", metavar="PATH",
+                   help="on divergence, write a standalone pytest "
+                        "reproducer for the minimized sequence to PATH "
+                        "(implies --minimize)")
+
+    p = sub.add_parser(
         "bench", help="simulator wall-clock benchmarks")
     p.add_argument("--wallclock", action="store_true",
                    help="run the wall-clock suite (required; the only mode)")
@@ -283,6 +354,7 @@ _COMMANDS = {
     "iopatterns": cmd_iopatterns,
     "ycsb": cmd_ycsb,
     "crashmc": cmd_crashmc,
+    "fuzz": cmd_fuzz,
     "bench": cmd_bench,
     "ras-report": cmd_ras_report,
     "crashdemo": cmd_crashdemo,

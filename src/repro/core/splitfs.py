@@ -30,6 +30,7 @@ from ..posix.api import FileSystemAPI, Stat
 from ..posix.errors import (
     BadFileDescriptorError,
     InvalidArgumentFSError,
+    IsADirectoryFSError,
     NoSpaceFSError,
     PermissionFSError,
 )
@@ -129,6 +130,11 @@ class UFile:
     active_run: Optional[StagedRun] = None
     staged_runs: List[StagedRun] = field(default_factory=list)
     open_count: int = 0
+    #: The file's last name is gone (unlink / rename-over / rmdir) while
+    #: descriptors remain open.  The kernel fd is kept — the kernel parks
+    #: the inode as an orphan behind it — and teardown happens at the
+    #: last user-level close.
+    unlinked: bool = False
 
     def all_runs(self) -> List[StagedRun]:
         runs = list(self.staged_runs)
@@ -288,7 +294,15 @@ class SplitFS(FileSystemAPI):
                         else C.USPLIT_OPEN_EXTRA_NS)
         created = flags & F.O_CREAT and not self._kernel_exists(path)
         kfd = self.kfs.open(path, flags, mode)
-        kino = self.kfs.fdt.get(kfd).ino
+        kof = self.kfs.fdt.get(kfd)
+        kino = kof.ino
+        if not self.kfs.inodes[kino].is_dir:
+            # The fd U-Split keeps is privileged: relink, hole-fill and
+            # truncate go through it no matter what access mode the *user*
+            # opened with (per-descriptor permissions are enforced at the
+            # U-Split layer).  Directories stay read-only — the kernel
+            # rightly refuses writable directory fds.
+            kof.flags = (kof.flags & ~F.O_ACCMODE) | F.O_RDWR
         if kino in self.files:
             # Reopened (possibly with O_TRUNC) a file we already track.
             ufile = self.files[kino]
@@ -335,6 +349,12 @@ class SplitFS(FileSystemAPI):
             raise BadFileDescriptorError(f"fd {fd} is not open")
         ufile = desc.ufile
         ufile.open_count -= 1
+        if ufile.open_count == 0 and ufile.unlinked:
+            # Last descriptor on a name-less file: staged data dies with
+            # it, and closing the kernel fd releases the kernel orphan.
+            self.files.pop(ufile.ino, None)
+            self._teardown_ufile(ufile)
+            return
         if ufile.open_count == 0 and ufile.all_runs():
             # Appends are relinked on fsync *or close* (Section 3.4) — but
             # close makes no durability promise, so the journal commit is
@@ -353,18 +373,40 @@ class SplitFS(FileSystemAPI):
         desc.ufile.open_count += 1
         return new_fd
 
+    def _teardown_ufile(self, ufile: UFile) -> None:
+        """Drop every cached artifact of an unreferenced tracked file.
+
+        All cached mappings are discarded (Section 3.5) — this is why
+        unlink is SplitFS's most expensive call (Table 6).  Closing the
+        kernel fd is what lets the kernel finally free an orphaned inode.
+        """
+        self._discard_staged(ufile)
+        self.mmaps.drop_file(ufile.ino)
+        for run in ufile.all_runs():
+            self.mmaps.drop_file(run.staging_ino)
+        self.kfs.close(ufile.kfd)
+
+    def _forget_path(self, path: str) -> None:
+        """The name ``path`` left the namespace: retire its cache entry.
+
+        While user descriptors remain open the UFile is only *marked*
+        unlinked — the kernel fd stays open, so the kernel parks the inode
+        as an orphan and staged data / reads through live descriptors keep
+        working, exactly like a POSIX file unlinked while open.  The last
+        :meth:`close` performs the actual teardown.
+        """
+        ino = self.path_cache.pop(path, None)
+        if ino is None or ino not in self.files:
+            return
+        ufile = self.files[ino]
+        if ufile.open_count > 0:
+            ufile.unlinked = True
+            return
+        del self.files[ino]
+        self._teardown_ufile(ufile)
+
     def unlink(self, path: str) -> None:
         self._intercept()
-        ino = self.path_cache.pop(path, None)
-        if ino is not None and ino in self.files:
-            ufile = self.files.pop(ino)
-            self._discard_staged(ufile)
-            # All cached mappings are discarded on unlink (Section 3.5) —
-            # this is why unlink is SplitFS's most expensive call (Table 6).
-            self.mmaps.drop_file(ino)
-            for run in ufile.all_runs():
-                self.mmaps.drop_file(run.staging_ino)
-            self.kfs.close(ufile.kfd)
         if self.mode.logs_operations:
             try:
                 parent_ino = self._kernel_parent_ino(path)
@@ -374,7 +416,8 @@ class SplitFS(FileSystemAPI):
                 NamespaceEntry(OP_UNLINK, self.oplog.next_seq(), parent_ino, 0,
                                path.rsplit("/", 1)[-1])
             )
-        self.kfs.unlink(path)
+        self.kfs.unlink(path)  # may raise: caches must stay intact then
+        self._forget_path(path)
         self._metadata_sync()
 
     def rename(self, old: str, new: str) -> None:
@@ -389,18 +432,30 @@ class SplitFS(FileSystemAPI):
             self._log(NamespaceEntry(OP_RENAME_TO, self.oplog.next_seq(),
                                      new_parent, 0, new.rsplit("/", 1)[-1]))
         self.kfs.rename(old, new)  # may raise: caches must stay intact then
-        # Drop cached state for the replaced destination file.
-        dst_ino = self.path_cache.pop(new, None)
-        if dst_ino is not None and dst_ino in self.files:
-            doomed = self.files.pop(dst_ino)
-            self._discard_staged(doomed)
-            self.mmaps.drop_file(dst_ino)
-            self.kfs.close(doomed.kfd)
+        if old == new:
+            # Kernel treated it as a no-op; the cache has nothing to move.
+            self._metadata_sync()
+            return
+        # The destination name was replaced: retire its cached file (if
+        # tracked), deferring teardown while descriptors are still open.
+        self._forget_path(new)
         ino = self.path_cache.pop(old, None)
         if ino is not None:
             self.path_cache[new] = ino
             if ino in self.files:
                 self.files[ino].path = new
+        # Renaming a directory moves its children: rewrite every cached
+        # path under the old prefix, or stat()/open() of the stale names
+        # would keep answering from the attribute cache.
+        prefix = old.rstrip("/") + "/"
+        new_prefix = new.rstrip("/") + "/"
+        moved = [p for p in self.path_cache if p.startswith(prefix)]
+        for p in moved:
+            child_ino = self.path_cache.pop(p)
+            child_path = new_prefix + p[len(prefix):]
+            self.path_cache[child_path] = child_ino
+            if child_ino in self.files:
+                self.files[child_ino].path = child_path
         self._metadata_sync()
 
     # ------------------------------------------------------------------
@@ -424,6 +479,8 @@ class SplitFS(FileSystemAPI):
     def _do_read(self, desc: OpenDesc, count: int, offset: int) -> bytes:
         self._intercept(C.USPLIT_MMAP_LOOKUP_NS)
         ufile = desc.ufile
+        if self.kfs.inodes[ufile.ino].is_dir:
+            raise IsADirectoryFSError(ufile.path)
         if offset >= ufile.size or count <= 0:
             return b""
         count = min(count, ufile.size - offset)
@@ -845,6 +902,12 @@ class SplitFS(FileSystemAPI):
         self._intercept()
         desc = self._desc(fd)
         ufile = desc.ufile
+        # Validate before mutating any U-Split state: a failing ftruncate
+        # must not discard or relink staged runs.
+        if not F.writable(desc.flags):
+            raise PermissionFSError(f"fd {fd} not open for writing")
+        if length < 0:
+            raise InvalidArgumentFSError("negative length")
         # Staged data beyond the new length is discarded; below it, relink
         # first so the kernel sees the bytes it is truncating.
         if any(r.target_off < length for r in ufile.all_runs()):
@@ -889,6 +952,9 @@ class SplitFS(FileSystemAPI):
             self._log(NamespaceEntry(OP_RMDIR, self.oplog.next_seq(),
                                      0, 0, path.rsplit("/", 1)[-1]))
         self.kfs.rmdir(path)
+        # A tracked directory (opened via open()) loses its name like any
+        # unlinked file; cached attrs and the kernel fd go with it.
+        self._forget_path(path)
         self._metadata_sync()
 
     def listdir(self, path: str) -> List[str]:

@@ -1,0 +1,298 @@
+"""Weighted op-sequence generation for the differential fuzzer.
+
+Generation is *model-guided*: the generator replays every op it emits on
+its own :class:`~repro.difftest.model.OracleFS`, so when it biases an op
+toward an edge case it does so against the file's real current size and
+the namespace's real current shape.  That is what makes "EOF-straddling
+write", "read across a hole" and "rename over an open descriptor" cheap
+to hit instead of astronomically unlikely.
+
+Everything is pure in the seed: ``generate_ops(seed, nops)`` is the name
+of a sequence forever (the CLI, CI sweep and shrinker all rely on it).
+
+The path universe is small and fixed — collisions are the point.  File
+slots 0–5 hold file descriptors; slots 6–7 are reserved for directory
+opens, and only close/fstat/read are generated against them (read for the
+EISDIR path; lseek is excluded because SEEK_END over a directory exposes
+the representation-specific directory size the comparator masks).
+
+ENOSPC coverage uses ``fail_alloc`` / ``clear_faults`` pseudo-ops around
+a short window of ops; the executor treats in-window divergence as a
+legitimate fork (allocation order differs by design across the five
+systems) and keeps checking the forked system for raw crashes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..posix import flags as F
+from .model import OracleFS
+from .ops import FuzzOp, apply_op
+
+FILE_PATHS = ("/f0", "/f1", "/f2", "/d0/g0", "/d0/g1", "/d1/h0")
+DIR_PATHS = ("/d0", "/d1")
+#: Paths whose resolution fails interestingly: missing intermediate
+#: (ENOENT), resolution through a file (ENOTDIR), missing under a dir.
+BAD_PATHS = ("/missing/x", "/f0/sub", "/d0/missing/y")
+
+FILE_SLOTS = range(0, 6)
+DIR_SLOTS = range(6, 8)
+
+WRITE_SIZES = (1, 7, 64, 417, 1024, 4096)
+READ_SIZES = (1, 16, 100, 1024, 8192)
+
+
+def _pick_flags(rng: random.Random) -> int:
+    flags = rng.choice((F.O_RDONLY, F.O_WRONLY, F.O_RDWR))
+    if rng.random() < 0.6:
+        flags |= F.O_CREAT
+        if rng.random() < 0.2:
+            flags |= F.O_EXCL
+    if rng.random() < 0.2:
+        flags |= F.O_TRUNC
+    if rng.random() < 0.2:
+        flags |= F.O_APPEND
+    return flags
+
+
+class _Gen:
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.oracle = OracleFS()
+        self.slots: Dict[int, int] = {}
+        self.ops: List[FuzzOp] = []
+        self.fault_window = 0
+
+    # -- oracle introspection ---------------------------------------------
+
+    def _emit(self, op: FuzzOp) -> None:
+        self.ops.append(op)
+        apply_op(self.oracle, self.slots, op)
+
+    def _open_slots(self, pool) -> List[int]:
+        return [s for s in pool if s in self.slots]
+
+    def _slot_size(self, slot: int) -> int:
+        node = self.oracle.nodes[self.oracle.fdt.get(self.slots[slot]).ino]
+        return 0 if node.is_dir else len(node.data)
+
+    def _slot_is_dir(self, slot: int) -> bool:
+        if slot not in self.slots:
+            return False
+        return self.oracle.nodes[self.oracle.fdt.get(self.slots[slot]).ino].is_dir
+
+    def _pick_file_slot(self) -> int:
+        open_slots = self._open_slots(FILE_SLOTS)
+        if open_slots and self.rng.random() < 0.85:
+            return self.rng.choice(open_slots)
+        return self.rng.choice(FILE_SLOTS)  # maybe-EBADF coverage
+
+    def _pick_path(self, dirs: float = 0.1, bad: float = 0.1) -> str:
+        roll = self.rng.random()
+        if roll < bad:
+            return self.rng.choice(BAD_PATHS)
+        if roll < bad + dirs:
+            return self.rng.choice(DIR_PATHS)
+        return self.rng.choice(FILE_PATHS)
+
+    def _pick_offset(self, slot: int) -> int:
+        """Offset biased toward EOF straddles and holes."""
+        size = self._slot_size(slot) if slot in self.slots else 0
+        roll = self.rng.random()
+        if roll < 0.4:  # EOF-straddling
+            return max(0, size + self.rng.randint(-64, 64))
+        if roll < 0.6:  # far past EOF: hole creation / read past end
+            return size + self.rng.randint(128, 4096)
+        return self.rng.randint(0, max(size, 1))  # interior
+
+    # -- op emitters -------------------------------------------------------
+
+    def _gen_open(self) -> None:
+        path = self._pick_path(dirs=0.15, bad=0.1)
+        if path in DIR_PATHS:
+            slot = self.rng.choice(DIR_SLOTS)
+            flags = F.O_RDONLY if self.rng.random() < 0.8 else F.O_RDWR
+        else:
+            slot = self.rng.choice(FILE_SLOTS)
+            flags = _pick_flags(self.rng)
+        if slot in self.slots and self.rng.random() < 0.5:
+            self._emit(FuzzOp("close", slot=slot))
+        self._emit(FuzzOp("open", slot=slot, path=path, flags=flags))
+
+    def _gen_write(self, positional: bool) -> None:
+        slot = self._pick_file_slot()
+        size = self.rng.choice(WRITE_SIZES)
+        data = self.rng.randbytes(size)
+        if positional:
+            self._emit(FuzzOp("pwrite", slot=slot, data=data,
+                              offset=self._pick_offset(slot)))
+        else:
+            self._emit(FuzzOp("write", slot=slot, data=data))
+
+    def _gen_writev(self) -> None:
+        slot = self._pick_file_slot()
+        sizes = tuple(self.rng.choice(WRITE_SIZES[:4])
+                      for _ in range(self.rng.randint(2, 4)))
+        self._emit(FuzzOp("writev", slot=slot,
+                          data=self.rng.randbytes(sum(sizes)), sizes=sizes))
+
+    def _gen_read(self, positional: bool) -> None:
+        # Occasionally read a directory slot — the EISDIR path.
+        open_dirs = self._open_slots(DIR_SLOTS)
+        if open_dirs and self.rng.random() < 0.15:
+            self._emit(FuzzOp("read", slot=self.rng.choice(open_dirs),
+                              count=self.rng.choice(READ_SIZES)))
+            return
+        slot = self._pick_file_slot()
+        count = self.rng.choice(READ_SIZES)
+        if positional:
+            self._emit(FuzzOp("pread", slot=slot, count=count,
+                              offset=self._pick_offset(slot)))
+        else:
+            self._emit(FuzzOp("read", slot=slot, count=count))
+
+    def _gen_readv(self) -> None:
+        sizes = tuple(self.rng.choice(READ_SIZES[:4])
+                      for _ in range(self.rng.randint(2, 4)))
+        self._emit(FuzzOp("readv", slot=self._pick_file_slot(), sizes=sizes))
+
+    def _gen_lseek(self) -> None:
+        slot = self._pick_file_slot()
+        roll = self.rng.random()
+        if roll < 0.1:
+            self._emit(FuzzOp("lseek", slot=slot, offset=0, whence=7))
+        elif roll < 0.25:  # negative result → EINVAL
+            self._emit(FuzzOp("lseek", slot=slot,
+                              offset=-self.rng.randint(1, 1 << 20),
+                              whence=F.SEEK_SET))
+        else:
+            whence = self.rng.choice((F.SEEK_SET, F.SEEK_CUR, F.SEEK_END))
+            if whence == F.SEEK_END and self._slot_is_dir(slot):
+                # A rename can turn a file-slot path into a directory, and
+                # SEEK_END over a directory fd exposes the representation-
+                # specific directory size the comparator masks.
+                whence = F.SEEK_SET
+            self._emit(FuzzOp(
+                "lseek", slot=slot,
+                offset=self.rng.randint(-32, 4096),
+                whence=whence,
+            ))
+
+    def _gen_ftruncate(self) -> None:
+        slot = self._pick_file_slot()
+        if self.rng.random() < 0.15:
+            self._emit(FuzzOp("ftruncate", slot=slot,
+                              count=-self.rng.randint(1, 100)))
+            return
+        length = self._pick_offset(slot)
+        self._emit(FuzzOp("ftruncate", slot=slot, count=length))
+
+    def _gen_rename(self) -> None:
+        old = self._pick_path(dirs=0.15, bad=0.08)
+        new = self._pick_path(dirs=0.12, bad=0.08)
+        # Never move a directory into its own subtree: POSIX EINVALs it,
+        # the simulated kernels do not model it, and the oracle would
+        # detach the subtree. Out of scope by construction.
+        if new.startswith(old.rstrip("/") + "/"):
+            return self._gen_stat()
+        self._emit(FuzzOp("rename", path=old, path2=new))
+
+    def _gen_close(self) -> None:
+        open_all = self._open_slots(FILE_SLOTS) + self._open_slots(DIR_SLOTS)
+        if open_all and self.rng.random() < 0.9:
+            self._emit(FuzzOp("close", slot=self.rng.choice(open_all)))
+        else:
+            self._emit(FuzzOp("close", slot=self.rng.choice(FILE_SLOTS)))
+
+    def _gen_fsync(self) -> None:
+        call = "fdatasync" if self.rng.random() < 0.25 else "fsync"
+        self._emit(FuzzOp(call, slot=self._pick_file_slot()))
+
+    def _gen_fstat(self) -> None:
+        open_dirs = self._open_slots(DIR_SLOTS)
+        if open_dirs and self.rng.random() < 0.25:
+            self._emit(FuzzOp("fstat", slot=self.rng.choice(open_dirs)))
+        else:
+            self._emit(FuzzOp("fstat", slot=self._pick_file_slot()))
+
+    def _gen_stat(self) -> None:
+        call = self.rng.choice(("stat", "stat", "exists", "listdir"))
+        if call == "listdir":
+            path = self.rng.choice(("/",) + DIR_PATHS + FILE_PATHS[:1])
+        else:
+            path = self._pick_path(dirs=0.2, bad=0.2)
+        self._emit(FuzzOp(call, path=path))
+
+    def _gen_namespace(self) -> None:
+        roll = self.rng.random()
+        if roll < 0.45:
+            self._emit(FuzzOp("unlink", path=self._pick_path(
+                dirs=0.1, bad=0.1)))
+        elif roll < 0.65:
+            self._emit(FuzzOp("mkdir", path=self._pick_path(
+                dirs=0.6, bad=0.15)))
+        else:
+            self._emit(FuzzOp("rmdir", path=self._pick_path(
+                dirs=0.6, bad=0.15)))
+
+    # -- driver ------------------------------------------------------------
+
+    WEIGHTED = (
+        (0.14, "_gen_open"),
+        (0.13, lambda self: self._gen_write(positional=False)),
+        (0.11, lambda self: self._gen_write(positional=True)),
+        (0.03, "_gen_writev"),
+        (0.09, lambda self: self._gen_read(positional=False)),
+        (0.07, lambda self: self._gen_read(positional=True)),
+        (0.03, "_gen_readv"),
+        (0.07, "_gen_fsync"),
+        (0.06, "_gen_close"),
+        (0.05, "_gen_lseek"),
+        (0.05, "_gen_ftruncate"),
+        (0.06, "_gen_rename"),
+        (0.10, "_gen_namespace"),
+        (0.05, "_gen_fstat"),
+        (0.06, "_gen_stat"),
+    )
+
+    def _gen_one(self) -> None:
+        roll = self.rng.random()
+        acc = 0.0
+        for weight, gen in self.WEIGHTED:
+            acc += weight
+            if roll < acc:
+                break
+        if callable(gen):
+            gen(self)
+        else:
+            getattr(self, gen)()
+
+    def run(self, nops: int, faults: bool) -> List[FuzzOp]:
+        # Prologue: give the namespace shape so nested paths resolve and
+        # early ops land on real files instead of a wall of ENOENT.
+        self._emit(FuzzOp("mkdir", path="/d0"))
+        self._emit(FuzzOp("mkdir", path="/d1"))
+        self._emit(FuzzOp("open", slot=0, path="/f0",
+                          flags=F.O_CREAT | F.O_RDWR))
+        while len(self.ops) < nops:
+            if self.fault_window > 0:
+                self.fault_window -= 1
+                if self.fault_window == 0:
+                    self._emit(FuzzOp("clear_faults"))
+                    continue
+            elif faults and self.rng.random() < 0.02:
+                self._emit(FuzzOp("fail_alloc",
+                                  count=self.rng.randint(0, 3)))
+                self.fault_window = self.rng.randint(2, 6)
+                continue
+            self._gen_one()
+        if self.fault_window > 0:
+            self.ops.append(FuzzOp("clear_faults"))
+        return self.ops
+
+
+def generate_ops(seed: int, nops: int, faults: bool = True) -> List[FuzzOp]:
+    """A reproducible fuzz sequence (pure in ``seed`` and ``nops``)."""
+    return _Gen(seed).run(nops, faults=faults)

@@ -1,0 +1,289 @@
+"""The in-memory POSIX oracle model.
+
+:class:`OracleFS` is the specification the five file systems are fuzzed
+against: a direct transcription of the POSIX semantics the simulated
+kernels implement — names, inodes, per-fd offsets, orphan retention — with
+no timing, no allocation, no persistence and no failure modes.  Every
+behavior here is deliberate and documented, including the places where the
+whole fleet deviates from strict POSIX together (those are modelled as-is:
+the differential target is "all five agree with the model", and the model
+is the written-down contract).
+
+Modelled semantics worth calling out:
+
+* **Errno precedence** follows the kernels: EEXIST before EISDIR in
+  ``open`` (O_CREAT|O_EXCL first), EACCES before EISDIR in data ops
+  (permission check at the descriptor before looking at the inode),
+  EBADF before everything fd-relative, ENOTDIR when resolution walks
+  *through* a non-directory vs ENOENT when a component is simply absent.
+* **Orphan retention**: ``unlink``/``rename``-over/``rmdir`` of a node
+  with open descriptors removes the *name* but keeps the node readable
+  and writable through those descriptors until the last ``close``.
+* **mmap semantics are implicit**: the simulated stack is DAX, stores
+  become visible to every reader immediately, so a model that applies
+  writes in place already captures shared-mapping visibility.
+* **Agreed POSIX deviations** (kept, not "fixed", because all five
+  kernels share them): ``rename`` of a file over an *empty directory*
+  succeeds; ``O_TRUNC`` on a read-only descriptor is ignored rather than
+  erroring; ``mkdir`` reports EEXIST even when the existing entry is a
+  file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..kernel.fsbase import FDTable, OpenFile, new_offset
+from ..posix import flags as F
+from ..posix.api import FileSystemAPI, Stat, split_path
+from ..posix.errors import (
+    DirectoryNotEmptyFSError,
+    FileExistsFSError,
+    FileNotFoundFSError,
+    InvalidArgumentFSError,
+    IsADirectoryFSError,
+    NotADirectoryFSError,
+    PermissionFSError,
+)
+
+ROOT_INO = 1
+
+
+@dataclass
+class Node:
+    """One oracle inode: a directory's entries or a file's bytes."""
+
+    ino: int
+    is_dir: bool
+    data: bytearray = field(default_factory=bytearray)
+    entries: Dict[str, int] = field(default_factory=dict)
+
+
+class OracleFS(FileSystemAPI):
+    """Pure in-memory POSIX model (see module docstring)."""
+
+    system_name = "oracle"
+
+    def __init__(self) -> None:
+        self.nodes: Dict[int, Node] = {
+            ROOT_INO: Node(ino=ROOT_INO, is_dir=True)
+        }
+        self._next_ino = ROOT_INO + 1
+        self.fdt = FDTable()
+
+    # -- resolution --------------------------------------------------------
+
+    def _resolve(self, path: str) -> int:
+        ino = ROOT_INO
+        for comp in split_path(path):
+            node = self.nodes[ino]
+            if not node.is_dir:
+                raise NotADirectoryFSError(path)
+            child = node.entries.get(comp)
+            if child is None:
+                raise FileNotFoundFSError(path)
+            ino = child
+        return ino
+
+    def _resolve_parent(self, path: str) -> Tuple[int, str]:
+        comps = split_path(path)
+        if not comps:
+            raise InvalidArgumentFSError("cannot operate on /")
+        parent = ROOT_INO
+        for comp in comps[:-1]:
+            node = self.nodes[parent]
+            if not node.is_dir:
+                raise NotADirectoryFSError(path)
+            child = node.entries.get(comp)
+            if child is None:
+                raise FileNotFoundFSError(path)
+            parent = child
+        if not self.nodes[parent].is_dir:
+            raise NotADirectoryFSError(path)
+        return parent, comps[-1]
+
+    def _new_node(self, is_dir: bool) -> Node:
+        node = Node(ino=self._next_ino, is_dir=is_dir)
+        self._next_ino += 1
+        self.nodes[node.ino] = node
+        return node
+
+    def _maybe_reap(self, ino: int) -> None:
+        """Drop an orphan once no name and no descriptor reference it."""
+        if ino == ROOT_INO or ino not in self.nodes:
+            return
+        if self.fdt.open_count(ino) > 0:
+            return
+        if any(ino in n.entries.values()
+               for n in self.nodes.values() if n.is_dir):
+            return
+        del self.nodes[ino]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self, path: str, flags: int = F.O_RDWR, mode: int = 0o644) -> int:
+        parent, name = self._resolve_parent(path)
+        ino = self.nodes[parent].entries.get(name)
+        if ino is None:
+            if not flags & F.O_CREAT:
+                raise FileNotFoundFSError(path)
+            node = self._new_node(is_dir=False)
+            self.nodes[parent].entries[name] = node.ino
+            ino = node.ino
+        else:
+            if flags & F.O_CREAT and flags & F.O_EXCL:
+                raise FileExistsFSError(path)
+            node = self.nodes[ino]
+            if node.is_dir and F.writable(flags):
+                raise IsADirectoryFSError(path)
+            if flags & F.O_TRUNC and F.writable(flags):
+                del node.data[:]
+        return self.fdt.install(ino, flags, path).fd
+
+    def close(self, fd: int) -> None:
+        of = self.fdt.remove(fd)
+        self._maybe_reap(of.ino)
+
+    def unlink(self, path: str) -> None:
+        parent, name = self._resolve_parent(path)
+        ino = self.nodes[parent].entries.get(name)
+        if ino is None:
+            raise FileNotFoundFSError(path)
+        if self.nodes[ino].is_dir:
+            raise IsADirectoryFSError(path)
+        del self.nodes[parent].entries[name]
+        self._maybe_reap(ino)
+
+    def rename(self, old: str, new: str) -> None:
+        old_parent, old_name = self._resolve_parent(old)
+        new_parent, new_name = self._resolve_parent(new)
+        ino = self.nodes[old_parent].entries.get(old_name)
+        if ino is None:
+            raise FileNotFoundFSError(old)
+        target = self.nodes[new_parent].entries.get(new_name)
+        if target is not None:
+            if target == ino:
+                return
+            tgt = self.nodes[target]
+            if tgt.is_dir and tgt.entries:
+                raise DirectoryNotEmptyFSError(new)
+            self.nodes[new_parent].entries[new_name] = ino
+            self._maybe_reap(target)
+        else:
+            self.nodes[new_parent].entries[new_name] = ino
+        del self.nodes[old_parent].entries[old_name]
+
+    # -- data --------------------------------------------------------------
+
+    def _readable_of(self, fd: int) -> OpenFile:
+        of = self.fdt.get(fd)
+        if not F.readable(of.flags):
+            raise PermissionFSError(f"fd {fd} not open for reading")
+        return of
+
+    def _writable_of(self, fd: int) -> OpenFile:
+        of = self.fdt.get(fd)
+        if not F.writable(of.flags):
+            raise PermissionFSError(f"fd {fd} not open for writing")
+        return of
+
+    def _do_read(self, of: OpenFile, count: int, offset: int) -> bytes:
+        node = self.nodes[of.ino]
+        if node.is_dir:
+            raise IsADirectoryFSError(of.path)
+        if offset >= len(node.data) or count <= 0:
+            return b""
+        return bytes(node.data[offset:offset + count])
+
+    def read(self, fd: int, count: int) -> bytes:
+        of = self._readable_of(fd)
+        data = self._do_read(of, count, of.offset)
+        of.offset += len(data)
+        return data
+
+    def pread(self, fd: int, count: int, offset: int) -> bytes:
+        return self._do_read(self._readable_of(fd), count, offset)
+
+    def _do_write(self, of: OpenFile, data: bytes, offset: int) -> int:
+        if not data:
+            return 0
+        node = self.nodes[of.ino]
+        if node.is_dir:
+            raise IsADirectoryFSError(of.path)
+        if offset > len(node.data):
+            node.data.extend(b"\x00" * (offset - len(node.data)))
+        node.data[offset:offset + len(data)] = data
+        return len(data)
+
+    def write(self, fd: int, data: bytes) -> int:
+        of = self._writable_of(fd)
+        if of.flags & F.O_APPEND:
+            of.offset = len(self.nodes[of.ino].data)
+        n = self._do_write(of, data, of.offset)
+        of.offset += n
+        return n
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        return self._do_write(self._writable_of(fd), data, offset)
+
+    def lseek(self, fd: int, offset: int, whence: int = F.SEEK_SET) -> int:
+        of = self.fdt.get(fd)
+        node = self.nodes[of.ino]
+        size = 0 if node.is_dir else len(node.data)
+        of.offset = new_offset(of, size, offset, whence)
+        return of.offset
+
+    def fsync(self, fd: int) -> None:
+        self.fdt.get(fd)
+
+    def ftruncate(self, fd: int, length: int) -> None:
+        of = self._writable_of(fd)
+        if length < 0:
+            raise InvalidArgumentFSError("negative truncate length")
+        node = self.nodes[of.ino]
+        if length < len(node.data):
+            del node.data[length:]
+        elif length > len(node.data):
+            node.data.extend(b"\x00" * (length - len(node.data)))
+
+    # -- metadata ----------------------------------------------------------
+
+    def _stat_node(self, node: Node) -> Stat:
+        return Stat(
+            st_ino=node.ino,
+            st_size=0 if node.is_dir else len(node.data),
+            is_dir=node.is_dir,
+        )
+
+    def stat(self, path: str) -> Stat:
+        return self._stat_node(self.nodes[self._resolve(path)])
+
+    def fstat(self, fd: int) -> Stat:
+        return self._stat_node(self.nodes[self.fdt.get(fd).ino])
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        parent, name = self._resolve_parent(path)
+        if name in self.nodes[parent].entries:
+            raise FileExistsFSError(path)
+        node = self._new_node(is_dir=True)
+        self.nodes[parent].entries[name] = node.ino
+
+    def rmdir(self, path: str) -> None:
+        parent, name = self._resolve_parent(path)
+        ino = self.nodes[parent].entries.get(name)
+        if ino is None:
+            raise FileNotFoundFSError(path)
+        node = self.nodes[ino]
+        if not node.is_dir:
+            raise NotADirectoryFSError(path)
+        if node.entries:
+            raise DirectoryNotEmptyFSError(path)
+        del self.nodes[parent].entries[name]
+        self._maybe_reap(ino)
+
+    def listdir(self, path: str) -> List[str]:
+        node = self.nodes[self._resolve(path)]
+        if not node.is_dir:
+            raise NotADirectoryFSError(path)
+        return sorted(node.entries)

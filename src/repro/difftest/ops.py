@@ -1,0 +1,176 @@
+"""The fuzzing op vocabulary and the single-op applier.
+
+A fuzz sequence is a list of :class:`FuzzOp` values — plain data, so a
+``(seed, nops)`` pair names a sequence forever and the ddmin shrinker can
+drop arbitrary subsets.  Descriptor identity goes through *slots*: an op
+says "open into slot 3" / "write through slot 3", and the applier maps
+slots to whatever fd number the file system under test handed back (fd
+numbering differs between the kernel file systems and SplitFS, and must
+never leak into the comparison).  A missing slot maps to an impossible fd,
+so any subsequence remains executable — it just earns EBADF.
+
+:func:`apply_op` reduces one op on one file system to a comparable
+*outcome* triple::
+
+    ("ok",    <normalized result>)   # call returned
+    ("err",   "ENOENT")              # an FSError escaped — compare errnos
+    ("crash", "KeyError: ...")       # a non-FSError escaped — always a bug
+
+Results are normalized so only semantically comparable values remain:
+fd numbers become the token ``"fd"``, ``Stat`` collapses to (kind, size)
+with directory sizes masked (ext4 reports block-multiple dir sizes where
+Strata reports 0 — both defensible, neither comparable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional, Tuple
+
+from ..posix import flags as F
+from ..posix.errors import FSError
+
+#: The fd value no simulated file system ever allocates; resolving a slot
+#: that is empty (never opened, already closed, or dropped by the shrinker)
+#: yields this and the op earns a well-defined EBADF.
+BAD_FD = -1
+
+
+@dataclass(frozen=True)
+class FuzzOp:
+    """One step of a fuzz sequence (pure data; see module docstring)."""
+
+    call: str
+    slot: int = -1
+    path: str = ""
+    path2: str = ""
+    flags: int = 0
+    offset: int = 0
+    whence: int = F.SEEK_SET
+    count: int = 0
+    data: bytes = b""
+    sizes: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        parts = [self.call]
+        for f in fields(self):
+            if f.name == "call":
+                continue
+            value = getattr(self, f.name)
+            if value == f.default:
+                continue
+            if f.name == "data" and len(value) > 16:
+                parts.append(f"data=<{len(value)} bytes>")
+            else:
+                parts.append(f"{f.name}={value!r}")
+        return f"{parts[0]}({', '.join(parts[1:])})"
+
+    def to_literal(self) -> str:
+        """A Python expression rebuilding this op (reproducer emission)."""
+        args = [f"{self.call!r}"]
+        for f in fields(self):
+            if f.name == "call":
+                continue
+            value = getattr(self, f.name)
+            if value != f.default:
+                args.append(f"{f.name}={value!r}")
+        return f"FuzzOp({', '.join(args)})"
+
+
+Outcome = Tuple[str, object]
+
+
+def _norm_stat(st) -> Tuple[str, Optional[int]]:
+    # Directory sizes are representation-specific (block multiples on
+    # ext4/NOVA, zero on Strata); link counts likewise.  Only the node
+    # kind and, for files, the byte size are cross-FS comparable.
+    if st.is_dir:
+        return ("dir", None)
+    return ("file", st.st_size)
+
+
+def apply_op(fs, slots: Dict[int, int], op: FuzzOp,
+             faults=None) -> Outcome:
+    """Apply one op to ``fs``, resolving fds through ``slots``.
+
+    ``faults`` is the machine's :class:`~repro.pmem.faults.FaultInjector`
+    (or ``None`` for the oracle, which has no device to fail): the
+    ``fail_alloc`` / ``clear_faults`` pseudo-ops arm and disarm it.
+    """
+    fd = slots.get(op.slot, BAD_FD)
+    try:
+        if op.call == "open":
+            new_fd = fs.open(op.path, op.flags)
+            slots[op.slot] = new_fd
+            return ("ok", "fd")
+        if op.call == "close":
+            fs.close(fd)
+            slots.pop(op.slot, None)
+            return ("ok", None)
+        if op.call == "read":
+            return ("ok", fs.read(fd, op.count))
+        if op.call == "pread":
+            return ("ok", fs.pread(fd, op.count, op.offset))
+        if op.call == "readv":
+            return ("ok", tuple(fs.readv(fd, list(op.sizes))))
+        if op.call == "write":
+            return ("ok", fs.write(fd, op.data))
+        if op.call == "pwrite":
+            return ("ok", fs.pwrite(fd, op.data, op.offset))
+        if op.call == "writev":
+            bufs, pos = [], 0
+            for size in op.sizes:
+                bufs.append(op.data[pos:pos + size])
+                pos += size
+            return ("ok", fs.writev(fd, bufs))
+        if op.call == "lseek":
+            return ("ok", fs.lseek(fd, op.offset, op.whence))
+        if op.call == "ftruncate":
+            fs.ftruncate(fd, op.count)
+            return ("ok", None)
+        if op.call == "fsync":
+            fs.fsync(fd)
+            return ("ok", None)
+        if op.call == "fdatasync":
+            fs.fdatasync(fd)
+            return ("ok", None)
+        if op.call == "fstat":
+            return ("ok", _norm_stat(fs.fstat(fd)))
+        if op.call == "stat":
+            return ("ok", _norm_stat(fs.stat(op.path)))
+        if op.call == "unlink":
+            fs.unlink(op.path)
+            return ("ok", None)
+        if op.call == "rename":
+            fs.rename(op.path, op.path2)
+            return ("ok", None)
+        if op.call == "mkdir":
+            fs.mkdir(op.path)
+            return ("ok", None)
+        if op.call == "rmdir":
+            fs.rmdir(op.path)
+            return ("ok", None)
+        if op.call == "listdir":
+            return ("ok", tuple(fs.listdir(op.path)))
+        if op.call == "exists":
+            return ("ok", fs.exists(op.path))
+        if op.call == "fail_alloc":
+            if faults is not None:
+                faults.fail_alloc_after(op.count)
+            return ("ok", None)
+        if op.call == "clear_faults":
+            if faults is not None:
+                faults.clear()
+            return ("ok", None)
+        raise ValueError(f"unknown fuzz call {op.call!r}")
+    except FSError as exc:
+        return ("err", exc.errno_name)
+    except Exception as exc:  # noqa: BLE001 — a raw escape IS the finding
+        return ("crash", f"{type(exc).__name__}: {exc}")
+
+
+def format_outcome(outcome: Outcome) -> str:
+    status, value = outcome
+    if status == "ok" and isinstance(value, bytes) and len(value) > 24:
+        value = f"<{len(value)} bytes>"
+    return f"{status}:{value!r}"

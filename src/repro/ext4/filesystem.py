@@ -371,11 +371,25 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
         block_index = d.add(name, ino)
         dir_inode = self.inodes[dir_ino]
         if block_index * C.BLOCK_SIZE >= dir_inode.size:
-            exts = self.alloc.alloc(1)
+            try:
+                exts = self.alloc.alloc(1)
+            except NoSpaceFSError:
+                # ENOSPC while growing the directory: undo the in-memory
+                # dirent, or later journaling of this block would find no
+                # backing allocation and the namespace would hold an entry
+                # the media cannot represent.
+                d.remove(name)
+                raise
             dir_inode.extmap.insert(block_index, exts[0].start, 1)
             dir_inode.size = (block_index + 1) * C.BLOCK_SIZE
             self._journal_inode(dir_inode)
         self._journal_dir_block(dir_ino, block_index)
+
+    def _unwind_new_inode(self, inode: Inode) -> None:
+        """Return a just-created inode after a failed create/mkdir."""
+        self.inodes.pop(inode.ino, None)
+        self.dirs.pop(inode.ino, None)
+        self.free_inos.append(inode.ino)
 
     def _new_inode(self, is_dir: bool, mode: int) -> Inode:
         if not self.free_inos:
@@ -500,7 +514,11 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
             if not flags & F.O_CREAT:
                 raise FileNotFoundFSError(path)
             inode = self._new_inode(is_dir=False, mode=mode)
-            self._dir_add(parent, name, inode.ino)
+            try:
+                self._dir_add(parent, name, inode.ino)
+            except NoSpaceFSError:
+                self._unwind_new_inode(inode)
+                raise
             self._journal_inode(inode)
             ino = inode.ino
         else:
@@ -775,7 +793,11 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
         if self.dirs[parent].lookup(name) is not None:
             raise FileExistsFSError(path)
         inode = self._new_inode(is_dir=True, mode=mode)
-        self._dir_add(parent, name, inode.ino)
+        try:
+            self._dir_add(parent, name, inode.ino)
+        except NoSpaceFSError:
+            self._unwind_new_inode(inode)
+            raise
         self._journal_inode(inode)
         self.inodes[parent].nlink += 1
         self._journal_inode(self.inodes[parent])
@@ -796,7 +818,11 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
         bi = self.dirs[parent].remove(name)
         self._journal_dir_block(parent, bi)
         inode.nlink = 0
-        self._release_inode(ino)
+        if self.fdt.open_count(ino) > 0:
+            self.orphans.add(ino)
+            self._journal_inode(inode)
+        else:
+            self._release_inode(ino)
         self.inodes[parent].nlink -= 1
         self._journal_inode(self.inodes[parent])
 

@@ -779,7 +779,10 @@ class NovaFS(FileSystemAPI, KernelCosts):
         self._log_append(pdir, L.DirentRmEntry(name))
         inode.nlink = 0
         self._persist_record(inode)
-        self._release_inode(inode)
+        if self.fdt.open_count(ino) > 0:
+            self.orphans.add(ino)
+        else:
+            self._release_inode(inode)
         pdir.nlink -= 1
         self._persist_record(pdir)
 

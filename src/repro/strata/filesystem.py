@@ -23,8 +23,9 @@ Device layout::
 
 from __future__ import annotations
 
+import dataclasses
 import struct
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..ext4.dirent import DirData
 from ..ext4.inode import (Inode, cont_blocks_needed, deserialize_inode,
@@ -49,7 +50,8 @@ from ..posix.errors import (
 from . import log as L
 
 _SB_MAGIC = 0x53545241  # "STRA"
-_SB_FMT = "<IQIIII"  # magic, total_blocks, log_start, log_blocks, itable_start, max_inodes
+# magic, total_blocks, log_start, log_blocks, itable_start, max_inodes, log_epoch
+_SB_FMT = "<IQIIIII"
 
 ROOT_INO = 1
 
@@ -83,8 +85,18 @@ class StrataFS(FileSystemAPI, KernelCosts):
         self.overlay: Dict[int, List[Tuple[int, int, int]]] = {}  # ino -> [(off, size, log_addr)]
         self.sizes: Dict[int, int] = {}  # runtime sizes including logged appends
         self.log_tail = 0  # byte offset within the log region
+        #: Current digest generation.  Digest resets the log in place, so
+        #: CRC-valid records of an earlier generation may still sit past
+        #: the new tail; replay accepts only records stamped with this
+        #: epoch (persisted in the superblock before the log is reused).
+        self.log_epoch = 0
         self.fdt = FDTable()
         self.digests = 0
+        #: Inodes whose last name is gone but which still have open
+        #: descriptors (POSIX orphan semantics); resources are released
+        #: at the last close.  Orphans do not survive a crash: replay
+        #: drops them with the T_UNLINK record.
+        self.orphans: Set[int] = set()
 
     # ------------------------------------------------------------------
     # format / mount
@@ -103,7 +115,7 @@ class StrataFS(FileSystemAPI, KernelCosts):
             raise ValueError("device too small for this StrataConfig")
         sb = struct.pack(
             _SB_FMT, _SB_MAGIC, fs.total_blocks, fs.log_start,
-            fs.config.log_blocks, fs.itable_start, fs.config.max_inodes,
+            fs.config.log_blocks, fs.itable_start, fs.config.max_inodes, 0,
         )
         machine.pm.poke(0, sb)
         machine.pm.poke(fs._log_addr(0), b"\x00" * C.BLOCK_SIZE)
@@ -123,12 +135,13 @@ class StrataFS(FileSystemAPI, KernelCosts):
     def mount(cls, machine: Machine) -> "StrataFS":
         fs = cls(machine)
         raw = machine.pm.load(0, struct.calcsize(_SB_FMT), category=Category.META_IO)
-        magic, total, log_start, log_blocks, itable_start, max_inodes = struct.unpack(
-            _SB_FMT, raw
+        magic, total, log_start, log_blocks, itable_start, max_inodes, epoch = (
+            struct.unpack(_SB_FMT, raw)
         )
         if magic != _SB_MAGIC:
             raise ValueError("not a Strata image")
         fs.config = StrataConfig(log_blocks=log_blocks, max_inodes=max_inodes)
+        fs.log_epoch = epoch
         fs.total_blocks = total
         fs.log_start = log_start
         fs.itable_start = itable_start
@@ -186,6 +199,7 @@ class StrataFS(FileSystemAPI, KernelCosts):
 
     def _log_append(self, record: L.Record, payload: bytes = b"") -> int:
         """Append one record; returns the log byte offset of the payload."""
+        record = dataclasses.replace(record, epoch=self.log_epoch)
         raw = L.encode(record, payload)
         if self.log_tail + len(raw) + C.CACHELINE_SIZE > self.log_capacity:
             self.digest()
@@ -212,6 +226,8 @@ class StrataFS(FileSystemAPI, KernelCosts):
             if parsed is None:
                 break
             rec, payload_len = parsed
+            if rec.epoch != self.log_epoch:
+                break  # leftover from before the last digest
             payload = b""
             if payload_len:
                 padded = self.pm.load(self._log_addr(pos + C.CACHELINE_SIZE),
@@ -225,6 +241,10 @@ class StrataFS(FileSystemAPI, KernelCosts):
 
     def _apply_record(self, rec: L.Record, payload_off: int) -> None:
         if rec.rtype == L.T_WRITE:
+            if rec.ino not in self.inodes:
+                # Data logged through an orphan descriptor (write after
+                # unlink); the orphan died with the crash.
+                return
             self.overlay.setdefault(rec.ino, []).append(
                 (rec.offset, rec.size, payload_off)
             )
@@ -265,7 +285,8 @@ class StrataFS(FileSystemAPI, KernelCosts):
         elif rec.rtype == L.T_LINK:
             self.dirs[rec.parent].add(rec.name, rec.ino)
         elif rec.rtype == L.T_TRUNCATE:
-            self._apply_truncate(rec.ino, rec.size)
+            if rec.ino in self.inodes:
+                self._apply_truncate(rec.ino, rec.size)
 
     def _apply_truncate(self, ino: int, length: int) -> None:
         """Apply a truncate: clip the DRAM overlay and scrub shared blocks.
@@ -359,7 +380,18 @@ class StrataFS(FileSystemAPI, KernelCosts):
             if ino not in self.dirs and ino not in touched:
                 self._store_inode(self.inodes[ino])
         self.pm.sfence(category=Category.META_IO)
-        # Reset the log: zero the first header so replay stops immediately.
+        # Reset the log.  The records themselves are left in place; they are
+        # fenced off by bumping the epoch in the superblock (replay ignores
+        # records of an earlier generation) and by zeroing the first header.
+        # Either store alone is sufficient, so their order within this fence
+        # epoch does not matter for crash consistency.
+        self.log_epoch += 1
+        sb = struct.pack(
+            _SB_FMT, _SB_MAGIC, self.total_blocks, self.log_start,
+            self.config.log_blocks, self.itable_start, self.config.max_inodes,
+            self.log_epoch,
+        )
+        self.pm.store(0, sb, category=Category.META_IO)
         self.pm.store(self._log_addr(0), b"\x00" * C.CACHELINE_SIZE,
                       category=Category.META_IO)
         self.pm.sfence(category=Category.META_IO)
@@ -509,7 +541,19 @@ class StrataFS(FileSystemAPI, KernelCosts):
 
     def close(self, fd: int) -> None:
         self.clock.charge_cpu(C.USPLIT_INTERCEPT_NS)
-        self.fdt.remove(fd)
+        of = self.fdt.remove(fd)
+        if of.ino in self.orphans and self.fdt.open_count(of.ino) == 0:
+            self.orphans.discard(of.ino)
+            self.dirs.pop(of.ino, None)
+            self._drop_inode(of.ino)
+
+    def _drop_or_orphan(self, ino: int) -> None:
+        """Release an unlinked inode, deferring while descriptors remain."""
+        if self.fdt.open_count(ino) > 0:
+            self.orphans.add(ino)
+        else:
+            self.dirs.pop(ino, None)
+            self._drop_inode(ino)
 
     def unlink(self, path: str) -> None:
         self.clock.charge_cpu(C.USPLIT_INTERCEPT_NS + C.EXT4_UNLINK_CPU_NS * 0.4)
@@ -521,7 +565,7 @@ class StrataFS(FileSystemAPI, KernelCosts):
             raise IsADirectoryFSError(path)
         self.dirs[parent].remove(name)
         self._log_append(L.Record(L.T_UNLINK, parent=parent, name=name))
-        self._drop_inode(ino)
+        self._drop_or_orphan(ino)
 
     def rename(self, old: str, new: str) -> None:
         self.clock.charge_cpu(C.USPLIT_INTERCEPT_NS)
@@ -539,8 +583,7 @@ class StrataFS(FileSystemAPI, KernelCosts):
                 raise DirectoryNotEmptyFSError(new)
             self.dirs[new_parent].remove(new_name)
             self._log_append(L.Record(L.T_UNLINK, parent=new_parent, name=new_name))
-            self.dirs.pop(target, None)
-            self._drop_inode(target)
+            self._drop_or_orphan(target)
         self.dirs[new_parent].add(new_name, ino)
         self._log_append(L.Record(L.T_LINK, ino=ino, parent=new_parent, name=new_name))
         self.dirs[old_parent].remove(old_name)
@@ -573,6 +616,8 @@ class StrataFS(FileSystemAPI, KernelCosts):
     def _do_read(self, of: OpenFile, count: int, offset: int) -> bytes:
         self.clock.charge_cpu(C.STRATA_READ_PATH_CPU_NS)
         ino = of.ino
+        if self.inodes[ino].is_dir:
+            raise IsADirectoryFSError(of.path)
         size = self.sizes.get(ino, 0)
         if offset >= size or count <= 0:
             return b""
@@ -690,8 +735,7 @@ class StrataFS(FileSystemAPI, KernelCosts):
             raise DirectoryNotEmptyFSError(path)
         self.dirs[parent].remove(name)
         self._log_append(L.Record(L.T_UNLINK, parent=parent, name=name))
-        self.dirs.pop(ino)
-        self._drop_inode(ino)
+        self._drop_or_orphan(ino)
 
     def listdir(self, path: str) -> List[str]:
         self.clock.charge_cpu(C.USPLIT_INTERCEPT_NS)

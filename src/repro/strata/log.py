@@ -16,7 +16,8 @@ from typing import Optional, Tuple
 from ..pmem import constants as C
 
 _MAGIC = 0x5354  # "ST"
-_HDR_FMT = "<HBBIIQII"  # magic, type, name_len, ino, parent, offset, size, crc
+# magic, type, name_len, ino, parent, offset, size, epoch, crc
+_HDR_FMT = "<HBBIIQIII"
 _HDR_SIZE = struct.calcsize(_HDR_FMT)
 
 T_WRITE = 1
@@ -37,6 +38,10 @@ class Record:
     offset: int = 0
     size: int = 0
     name: str = ""
+    # Digest generation the record belongs to.  The log is reset in place
+    # (not erased) at digest, so replay must be able to tell a live record
+    # from a CRC-valid leftover of the previous generation.
+    epoch: int = 0
 
 
 def _crc(header_wo_crc: bytes, payload: bytes) -> int:
@@ -49,8 +54,8 @@ def encode(record: Record, payload: bytes = b"") -> bytes:
     if len(name) > MAX_STRATA_NAME:
         raise ValueError(f"strata name too long: {record.name!r}")
     base = struct.pack(
-        "<HBBIIQI", _MAGIC, record.rtype, len(name), record.ino,
-        record.parent, record.offset, record.size,
+        "<HBBIIQII", _MAGIC, record.rtype, len(name), record.ino,
+        record.parent, record.offset, record.size, record.epoch,
     )
     crc = _crc(base + name, payload)
     hdr = base + struct.pack("<I", crc) + name
@@ -63,15 +68,15 @@ def encode(record: Record, payload: bytes = b"") -> bytes:
 
 def decode_header(raw: bytes) -> Optional[Tuple[Record, int]]:
     """Parse a 64 B header; returns (record, padded_payload_len) or None."""
-    magic, rtype, name_len, ino, parent, offset, size, crc = struct.unpack_from(
-        _HDR_FMT, raw
+    magic, rtype, name_len, ino, parent, offset, size, epoch, crc = (
+        struct.unpack_from(_HDR_FMT, raw)
     )
     if magic != _MAGIC or rtype not in (
         T_WRITE, T_CREATE, T_UNLINK, T_MKDIR, T_LINK, T_TRUNCATE,
     ):
         return None
     name = raw[_HDR_SIZE : _HDR_SIZE + name_len].decode(errors="replace")
-    rec = Record(rtype, ino, parent, offset, size, name)
+    rec = Record(rtype, ino, parent, offset, size, name, epoch)
     payload_len = 0
     if rtype == T_WRITE:
         payload_len = size + ((-size) % C.CACHELINE_SIZE)

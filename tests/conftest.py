@@ -27,3 +27,23 @@ def splitfs(request):
     machine, fs = make_filesystem(request.param, pm_size=SMALL_PM)
     fs.system_name = request.param
     return fs
+
+
+@pytest.fixture
+def all_filesystems():
+    """Factory building a fresh instance of *every* evaluated system.
+
+    A factory (rather than a parametrized instance) so a single test body
+    can compare the systems against each other, and so hypothesis tests
+    can build fresh state per generated example.
+    """
+
+    def build(pm_size: int = SMALL_PM):
+        out = []
+        for name in SYSTEM_NAMES:
+            machine, fs = make_filesystem(name, pm_size=pm_size)
+            fs.system_name = name
+            out.append(fs)
+        return out
+
+    return build

@@ -1,0 +1,152 @@
+"""Unit tests for the in-memory POSIX oracle (repro.difftest.model).
+
+The oracle is the fuzzer's ground truth, so its own semantics get direct
+tests: errno precedence, orphan lifetime, append repositioning, holes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.difftest.model import OracleFS
+from repro.posix import flags as F
+from repro.posix.errors import (
+    BadFileDescriptorError,
+    FileExistsFSError,
+    FileNotFoundFSError,
+    InvalidArgumentFSError,
+    IsADirectoryFSError,
+    NotADirectoryFSError,
+    PermissionFSError,
+)
+
+
+@pytest.fixture
+def fs():
+    return OracleFS()
+
+
+def test_create_write_read_roundtrip(fs):
+    fd = fs.open("/a", F.O_CREAT | F.O_RDWR)
+    assert fs.write(fd, b"hello") == 5
+    assert fs.pread(fd, 5, 0) == b"hello"
+    assert fs.fstat(fd).st_size == 5
+    fs.close(fd)
+    assert fs.read_file("/a") == b"hello"
+
+
+def test_open_excl_on_existing_beats_eisdir(fs):
+    fs.mkdir("/d")
+    with pytest.raises(FileExistsFSError):
+        fs.open("/d", F.O_CREAT | F.O_EXCL | F.O_RDONLY)
+
+
+def test_open_dir_writable_is_eisdir(fs):
+    fs.mkdir("/d")
+    with pytest.raises(IsADirectoryFSError):
+        fs.open("/d", F.O_RDWR)
+    fd = fs.open("/d", F.O_RDONLY)  # read-only dir open is fine
+    with pytest.raises(IsADirectoryFSError):
+        fs.read(fd, 16)
+
+
+def test_write_on_rdonly_fd_eacces_before_eisdir(fs):
+    fs.mkdir("/d")
+    fd = fs.open("/d", F.O_RDONLY)
+    with pytest.raises(PermissionFSError):
+        fs.write(fd, b"x")
+
+
+def test_empty_write_returns_zero_without_checks(fs):
+    fd = fs.open("/a", F.O_CREAT | F.O_RDWR)
+    assert fs.write(fd, b"") == 0
+
+
+def test_append_repositions_to_eof(fs):
+    fd = fs.open("/a", F.O_CREAT | F.O_RDWR | F.O_APPEND)
+    fs.write(fd, b"aaa")
+    fs.lseek(fd, 0, F.SEEK_SET)
+    fs.write(fd, b"bb")
+    assert fs.read_file("/a") == b"aaabb"
+
+
+def test_pwrite_hole_reads_back_zeros(fs):
+    fd = fs.open("/a", F.O_CREAT | F.O_RDWR)
+    fs.pwrite(fd, b"z", 4096)
+    assert fs.fstat(fd).st_size == 4097
+    assert fs.pread(fd, 4097, 0) == b"\x00" * 4096 + b"z"
+
+
+def test_ftruncate_order_ebadf_eacces_einval(fs):
+    with pytest.raises(BadFileDescriptorError):
+        fs.ftruncate(99, -1)
+    fd = fs.open("/a", F.O_CREAT | F.O_RDONLY)
+    with pytest.raises(PermissionFSError):
+        fs.ftruncate(fd, -1)
+    fd2 = fs.open("/a", F.O_RDWR)
+    with pytest.raises(InvalidArgumentFSError):
+        fs.ftruncate(fd2, -1)
+
+
+def test_unlinked_file_lives_until_last_close(fs):
+    fd = fs.open("/a", F.O_CREAT | F.O_RDWR)
+    fs.write(fd, b"data")
+    fs.unlink("/a")
+    assert not fs.exists("/a")
+    assert fs.pread(fd, 4, 0) == b"data"  # orphan still readable
+    fs.write(fd, b"!")
+    fs.close(fd)  # last close reaps the orphan
+    assert not fs.exists("/a")
+
+
+def test_resolve_enotdir_vs_enoent(fs):
+    fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+    fs.close(fd)
+    with pytest.raises(NotADirectoryFSError):
+        fs.stat("/f/sub")
+    with pytest.raises(FileNotFoundFSError):
+        fs.stat("/missing/x")
+
+
+def test_rename_file_over_empty_dir_allowed(fs):
+    fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+    fs.write(fd, b"v")
+    fs.close(fd)
+    fs.mkdir("/d")
+    fs.rename("/f", "/d")
+    assert not fs.stat("/d").is_dir
+    assert fs.read_file("/d") == b"v"
+
+
+def test_rename_moves_directory_children(fs):
+    fs.mkdir("/d0")
+    fd = fs.open("/d0/g", F.O_CREAT | F.O_RDWR)
+    fs.write(fd, b"child")
+    fs.close(fd)
+    fs.rename("/d0", "/d1")
+    assert not fs.exists("/d0/g")
+    assert fs.read_file("/d1/g") == b"child"
+
+
+def test_mkdir_eexist_regardless_of_type(fs):
+    fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+    fs.close(fd)
+    with pytest.raises(FileExistsFSError):
+        fs.mkdir("/f")
+
+
+def test_listdir_is_sorted(fs):
+    for name in ("/b", "/a", "/c"):
+        fs.close(fs.open(name, F.O_CREAT | F.O_RDWR))
+    assert fs.listdir("/") == ["a", "b", "c"]
+
+
+def test_lseek_bad_whence_and_negative(fs):
+    fd = fs.open("/a", F.O_CREAT | F.O_RDWR)
+    with pytest.raises(InvalidArgumentFSError):
+        fs.lseek(fd, 0, 7)
+    with pytest.raises(InvalidArgumentFSError):
+        fs.lseek(fd, -1, F.SEEK_SET)
+    fs.write(fd, b"abcdef")
+    assert fs.lseek(fd, -2, F.SEEK_END) == 4
+    assert fs.read(fd, 10) == b"ef"

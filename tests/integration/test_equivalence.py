@@ -8,7 +8,7 @@ the visible state of every SplitFS mode must equal ext4-DAX's.
 
 from __future__ import annotations
 
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import Mode, SplitFS
@@ -113,22 +113,15 @@ def test_all_splitfs_modes_agree(ops):
 
 
 @given(ops=st.lists(op_st, max_size=18))
-@settings(max_examples=30, deadline=None)
-def test_baselines_agree_with_ext4(ops):
-    from repro.nova.filesystem import NovaFS
-    from repro.pmfs.filesystem import PmfsFS
-    from repro.strata.filesystem import StrataFS
-
-    m1 = Machine(PM)
-    ext4 = Ext4DaxFS.format(m1)
-    apply_ops(ext4, ops)
-    expected = visible_state(ext4)
-
-    for build in (lambda m: PmfsFS.format(m),
-                  lambda m: NovaFS.format(m, strict=True),
-                  lambda m: NovaFS.format(m, strict=False),
-                  lambda m: StrataFS.format(m)):
-        m = Machine(PM)
-        fs = build(m)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_all_systems_agree_on_visible_state(all_filesystems, ops):
+    """Every evaluated system (kernel FSes + every SplitFS mode) must
+    converge to the same visible state under the same op sequence."""
+    states = {}
+    for fs in all_filesystems():
         apply_ops(fs, ops)
-        assert visible_state(fs) == expected
+        states[fs.system_name] = visible_state(fs)
+    expected = states["ext4dax"]
+    for name, state in states.items():
+        assert state == expected, (name, state, expected)

@@ -1,0 +1,142 @@
+"""Errno-conformance table: every system must fail the same way.
+
+Each case is a tiny setup + one probe call; the expected errno (or
+success) is the shared semantic contract the differential fuzzer's
+oracle transcribes.  Cases run against every evaluated system via the
+``any_fs`` fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.posix import flags as F
+from repro.posix.errors import FSError
+
+
+def _touch(fs, path, data=b""):
+    fd = fs.open(path, F.O_CREAT | F.O_RDWR)
+    if data:
+        fs.write(fd, data)
+    fs.close(fd)
+
+
+def _probe(fn):
+    try:
+        fn()
+    except FSError as exc:
+        return exc.errno_name
+    return None
+
+
+# (name, setup(fs), probe(fs) -> result, expected errno or None for success)
+CASES = [
+    ("excl_on_existing_file",
+     lambda fs: _touch(fs, "/f"),
+     lambda fs: fs.open("/f", F.O_CREAT | F.O_EXCL | F.O_RDWR),
+     "EEXIST"),
+    ("excl_on_existing_dir_beats_eisdir",
+     lambda fs: fs.mkdir("/d"),
+     lambda fs: fs.open("/d", F.O_CREAT | F.O_EXCL | F.O_RDWR),
+     "EEXIST"),
+    ("open_dir_writable",
+     lambda fs: fs.mkdir("/d"),
+     lambda fs: fs.open("/d", F.O_RDWR),
+     "EISDIR"),
+    ("open_missing_without_creat",
+     lambda fs: None,
+     lambda fs: fs.open("/missing", F.O_RDWR),
+     "ENOENT"),
+    ("trunc_on_rdonly_is_ignored",
+     lambda fs: _touch(fs, "/f", b"keep"),
+     lambda fs: fs.close(fs.open("/f", F.O_RDONLY | F.O_TRUNC)),
+     None),
+    ("write_on_rdonly_fd",
+     lambda fs: _touch(fs, "/f"),
+     lambda fs: fs.write(fs.open("/f", F.O_RDONLY), b"x"),
+     "EACCES"),
+    ("read_on_wronly_fd",
+     lambda fs: _touch(fs, "/f", b"data"),
+     lambda fs: fs.read(fs.open("/f", F.O_WRONLY), 4),
+     "EACCES"),
+    ("ftruncate_on_rdonly_fd",
+     lambda fs: _touch(fs, "/f", b"data"),
+     lambda fs: fs.ftruncate(fs.open("/f", F.O_RDONLY), 0),
+     "EACCES"),
+    ("ftruncate_negative_length",
+     lambda fs: _touch(fs, "/f"),
+     lambda fs: fs.ftruncate(fs.open("/f", F.O_RDWR), -1),
+     "EINVAL"),
+    ("resolution_through_file_is_enotdir",
+     lambda fs: _touch(fs, "/f"),
+     lambda fs: fs.stat("/f/sub"),
+     "ENOTDIR"),
+    ("resolution_through_missing_is_enoent",
+     lambda fs: None,
+     lambda fs: fs.stat("/missing/x"),
+     "ENOENT"),
+    ("open_through_file_is_enotdir",
+     lambda fs: _touch(fs, "/f"),
+     lambda fs: fs.open("/f/sub", F.O_CREAT | F.O_RDWR),
+     "ENOTDIR"),
+    ("unlink_a_directory",
+     lambda fs: fs.mkdir("/d"),
+     lambda fs: fs.unlink("/d"),
+     "EISDIR"),
+    ("rmdir_a_file",
+     lambda fs: _touch(fs, "/f"),
+     lambda fs: fs.rmdir("/f"),
+     "ENOTDIR"),
+    ("rmdir_non_empty",
+     lambda fs: (fs.mkdir("/d"), _touch(fs, "/d/f")),
+     lambda fs: fs.rmdir("/d"),
+     "ENOTEMPTY"),
+    ("mkdir_over_existing_file",
+     lambda fs: _touch(fs, "/f"),
+     lambda fs: fs.mkdir("/f"),
+     "EEXIST"),
+    ("rename_missing_source",
+     lambda fs: None,
+     lambda fs: fs.rename("/missing", "/f"),
+     "ENOENT"),
+    ("rename_over_non_empty_dir",
+     lambda fs: (_touch(fs, "/f"), fs.mkdir("/d"), _touch(fs, "/d/g")),
+     lambda fs: fs.rename("/f", "/d"),
+     "ENOTEMPTY"),
+    ("lseek_bad_whence",
+     lambda fs: _touch(fs, "/f"),
+     lambda fs: fs.lseek(fs.open("/f", F.O_RDWR), 0, 7),
+     "EINVAL"),
+    ("lseek_negative_result",
+     lambda fs: _touch(fs, "/f"),
+     lambda fs: fs.lseek(fs.open("/f", F.O_RDWR), -5, F.SEEK_SET),
+     "EINVAL"),
+    ("bad_fd_everywhere",
+     lambda fs: None,
+     lambda fs: fs.read(9999, 1),
+     "EBADF"),
+]
+
+
+@pytest.mark.parametrize("name,setup,probe,expected",
+                         CASES, ids=[c[0] for c in CASES])
+def test_errno_conformance(any_fs, name, setup, probe, expected):
+    setup(any_fs)
+    assert _probe(lambda: probe(any_fs)) == expected
+
+
+def test_trunc_on_rdonly_preserves_content(any_fs):
+    _touch(any_fs, "/f", b"keep")
+    fd = any_fs.open("/f", F.O_RDONLY | F.O_TRUNC)
+    any_fs.close(fd)
+    assert any_fs.read_file("/f") == b"keep"
+
+
+def test_empty_write_checks_access_mode_first(any_fs):
+    _touch(any_fs, "/f")
+    # EACCES precedes the zero-length early return...
+    rd = any_fs.open("/f", F.O_RDONLY)
+    assert _probe(lambda: any_fs.write(rd, b"")) == "EACCES"
+    # ...and a writable fd's empty write returns 0 with no side effects.
+    wr = any_fs.open("/f", F.O_RDWR)
+    assert any_fs.write(wr, b"") == 0

@@ -1,0 +1,164 @@
+"""PMFS undo-journal replay edges: nesting, torn records, capacity,
+rollback ordering, idempotence."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.pmem.constants import CACHELINE_SIZE
+from repro.pmem.device import PersistentMemory
+from repro.pmem.timing import SimClock
+from repro.pmfs.journal import (
+    UndoJournal,
+    _DONE_FMT,
+    _HDR_FMT,
+    _REC_MAGIC,
+    _REC_SIZE,
+    _rec_crc,
+)
+
+DATA = 256 * 1024  # scratch area well past the journal region
+
+
+@pytest.fixture
+def pm():
+    return PersistentMemory(4 * 1024 * 1024, SimClock())
+
+
+@pytest.fixture
+def undo(pm):
+    j = UndoJournal(pm, start_block=0, nblocks=64)
+    j.format()
+    return j
+
+
+def _craft_record(pm, undo, slot, line_addr, old_line, crc=None):
+    """Write an undo record exactly as apply_update would persist it."""
+    gen = undo.gen
+    if crc is None:
+        crc = _rec_crc(gen, line_addr, old_line)
+    hdr = struct.pack(_HDR_FMT, _REC_MAGIC, gen, line_addr, crc)
+    hdr += b"\x00" * (CACHELINE_SIZE - len(hdr))
+    pm.poke(undo.start + 4096 + slot * _REC_SIZE, hdr + old_line)
+
+
+class TestNestedTransactions:
+    def test_nested_brackets_collapse_into_one_commit(self, pm, undo):
+        pm.poke(DATA, b"A" * 64)
+        pm.poke(DATA + 64, b"B" * 64)
+        undo.begin()
+        undo.apply_update(DATA, b"C" * 64)
+        undo.begin()  # nested: e.g. unlink -> release -> journal free
+        undo.apply_update(DATA + 64, b"D" * 64)
+        undo.commit()
+        # Inner commit must NOT persist the done marker yet: a crash here
+        # rolls back both updates.
+        _, done_gen = struct.unpack(
+            _DONE_FMT, pm.peek(undo.start, struct.calcsize(_DONE_FMT)))
+        assert done_gen == 0
+        undo.commit()
+        _, done_gen = struct.unpack(
+            _DONE_FMT, pm.peek(undo.start, struct.calcsize(_DONE_FMT)))
+        assert done_gen == 1
+
+    def test_crash_inside_outer_bracket_rolls_back_both_updates(self, pm):
+        undo = UndoJournal(pm, 0, 64)
+        undo.format()
+        pm.poke(DATA, b"A" * 64)
+        pm.poke(DATA + 64, b"B" * 64)
+        undo.begin()
+        undo.apply_update(DATA, b"C" * 64)
+        undo.apply_update(DATA + 64, b"D" * 64)
+        # No commit: crash.  Both lines were applied in place...
+        assert pm.peek(DATA, 64) == b"C" * 64
+        rolled = UndoJournal(pm, 0, 64).recover()
+        assert rolled == 2
+        assert pm.peek(DATA, 64) == b"A" * 64
+        assert pm.peek(DATA + 64, 64) == b"B" * 64
+
+    def test_commit_without_begin_rejected(self, undo):
+        with pytest.raises(ValueError):
+            undo.commit()
+
+
+class TestTornRecords:
+    def test_torn_record_stops_rollback_at_the_tear(self, pm, undo):
+        pm.poke(DATA, b"live-line".ljust(64, b"."))
+        # Record 0: intact (its guarded update "executed": fake old image).
+        _craft_record(pm, undo, 0, DATA, b"old-line".ljust(64, b"."))
+        # Record 1: torn — CRC does not match its content line, so its
+        # batch never reached the record fence and must be ignored.
+        _craft_record(pm, undo, 1, DATA + 64, b"garbage".ljust(64, b"!"),
+                      crc=0xDEADBEEF)
+        before_tail = pm.peek(DATA + 64, 64)
+        rolled = UndoJournal(pm, 0, 64).recover()
+        assert rolled == 1
+        assert pm.peek(DATA, 64) == b"old-line".ljust(64, b".")
+        assert pm.peek(DATA + 64, 64) == before_tail
+
+    def test_stale_generation_records_ignored(self, pm, undo):
+        pm.poke(DATA, b"current".ljust(64, b"."))
+        undo.apply_update(DATA, b"updated".ljust(64, b"."))  # commits gen 1
+        # The slot still holds the gen-1 record; recovery (done_gen == 1)
+        # must not roll it back.
+        rolled = UndoJournal(pm, 0, 64).recover()
+        assert rolled == 0
+        assert pm.peek(DATA, 64) == b"updated".ljust(64, b".")
+
+
+class TestCapacity:
+    def test_transaction_exceeding_capacity_rejected(self, pm):
+        undo = UndoJournal(pm, 0, nblocks=2)  # capacity: 32 records
+        undo.format()
+        assert undo.capacity == 32
+        pm.poke(DATA, b"\x00" * 64 * 33)
+        undo.begin()
+        for i in range(32):
+            undo.apply_update(DATA + i * 64, bytes([i + 1]) * 64)
+        with pytest.raises(ValueError):
+            undo.apply_update(DATA + 32 * 64, b"\xff" * 64)
+        undo.commit()
+
+
+class TestRollbackOrdering:
+    def test_line_updated_twice_rolls_back_to_oldest_image(self, pm):
+        undo = UndoJournal(pm, 0, 64)
+        undo.format()
+        pm.poke(DATA, b"v0".ljust(64, b"."))
+        undo.begin()
+        undo.apply_update(DATA, b"v1".ljust(64, b"."))
+        undo.apply_update(DATA, b"v2".ljust(64, b"."))
+        # Crash before commit: newest-first rollback must restore v0,
+        # not the intermediate v1.
+        rolled = UndoJournal(pm, 0, 64).recover()
+        assert rolled == 2
+        assert pm.peek(DATA, 64) == b"v0".ljust(64, b".")
+
+
+class TestIdempotence:
+    def test_recover_twice_is_idempotent(self, pm):
+        undo = UndoJournal(pm, 0, 64)
+        undo.format()
+        pm.poke(DATA, b"base".ljust(64, b"."))
+        undo.begin()
+        undo.apply_update(DATA, b"dirty".ljust(64, b"."))
+        # Crash before commit; then crash again during/after recovery.
+        first = UndoJournal(pm, 0, 64).recover()
+        second = UndoJournal(pm, 0, 64).recover()
+        assert first == second == 1
+        assert pm.peek(DATA, 64) == b"base".ljust(64, b".")
+
+    def test_recovery_rearms_at_the_same_generation(self, pm):
+        undo = UndoJournal(pm, 0, 64)
+        undo.format()
+        pm.poke(DATA, b"base".ljust(64, b"."))
+        undo.begin()
+        undo.apply_update(DATA, b"dirty".ljust(64, b"."))
+        recovered = UndoJournal(pm, 0, 64)
+        recovered.recover()
+        # The next transaction after recovery must commit cleanly.
+        recovered.apply_update(DATA, b"after".ljust(64, b"."))
+        assert UndoJournal(pm, 0, 64).recover() == 0
+        assert pm.peek(DATA, 64) == b"after".ljust(64, b".")
