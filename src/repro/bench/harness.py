@@ -74,9 +74,11 @@ class Measurement:
 def build(system: str, pm_size: int = DEFAULT_PM,
           splitfs_config: Optional[SplitFSConfig] = None,
           ras: bool = False,
+          observer=None,
           ) -> Tuple[Machine, FileSystemAPI]:
     return make_filesystem(system, pm_size=pm_size,
-                           splitfs_config=splitfs_config, ras=ras)
+                           splitfs_config=splitfs_config, ras=ras,
+                           observer=observer)
 
 
 def measure(
@@ -87,18 +89,26 @@ def measure(
     pm_size: int = DEFAULT_PM,
     splitfs_config: Optional[SplitFSConfig] = None,
     ras: bool = False,
+    observer=None,
 ) -> Measurement:
     """Run ``setup`` (uncharged to the measurement), then measure ``body``.
 
     ``body`` returns the number of operations it performed.  ``ras=True``
     runs the workload with the online RAS layer enabled and folds its
-    counters into ``extras`` (keys prefixed ``ras_``).
+    counters into ``extras`` (keys prefixed ``ras_``).  ``observer``
+    (a :class:`~repro.obs.Observer`) traces the run; its collected state is
+    zeroed (``begin()``) after setup, so spans and attribution cover exactly
+    the measured body — attribution totals equal ``account`` by
+    construction.
     """
-    machine, fs = build(system, pm_size, splitfs_config, ras=ras)
+    machine, fs = build(system, pm_size, splitfs_config, ras=ras,
+                        observer=observer)
     t0 = time.perf_counter()
     ctx = setup(fs)
     t1 = time.perf_counter()
     io_before = machine.pm.stats.snapshot()
+    if observer is not None:
+        observer.begin()
     with machine.clock.measure() as account:
         ops = body(fs, ctx)
     t2 = time.perf_counter()
@@ -137,6 +147,7 @@ def io_pattern_workload(
     splitfs_config: Optional[SplitFSConfig] = None,
     seed: int = 5,
     ras: bool = False,
+    observer=None,
 ) -> Measurement:
     """The Figure 4 micro-benchmarks: one pattern over one file.
 
@@ -188,14 +199,14 @@ def io_pattern_workload(
         return nops
 
     return measure(system, f"{pattern}-{op_size}B", setup, body,
-                   splitfs_config=splitfs_config, ras=ras)
+                   splitfs_config=splitfs_config, ras=ras, observer=observer)
 
 
 def append_4k_workload(system: str, total_bytes: int = 8 * 1024 * 1024,
-                       fsync_every: int = 100) -> Measurement:
+                       fsync_every: int = 100, observer=None) -> Measurement:
     """Table 1: the 4K-append workload (paper used 128 MB; scaled)."""
     return io_pattern_workload(system, "append", file_bytes=total_bytes,
-                               fsync_every=fsync_every)
+                               fsync_every=fsync_every, observer=observer)
 
 
 # ---------------------------------------------------------------------------
@@ -248,6 +259,7 @@ def ycsb_workload(
     record_count: int = 1000,
     operation_count: int = 1500,
     pm_size: int = DEFAULT_PM,
+    observer=None,
 ) -> Measurement:
     """YCSB on the LevelDB model.  Load phases measure the load itself;
     run phases perform an (unmeasured) load first."""
@@ -273,7 +285,8 @@ def ycsb_workload(
         return cfg.operation_count
 
     name = "ycsb-load" if phase == "load" else f"ycsb-run{phase}"
-    return measure(system, name, setup, body, pm_size=pm_size)
+    return measure(system, name, setup, body, pm_size=pm_size,
+                   observer=observer)
 
 
 def redis_workload(system: str, n_sets: int = 3000,

@@ -69,9 +69,9 @@ class TraceRecorder(FileSystemAPI):
         return fd
 
     def close(self, fd: int) -> None:
+        self.inner.close(fd)  # raises (unrecorded) on a bad fd, like open
         token = self._tokens.pop(fd)
         self._emit("close", token)
-        self.inner.close(fd)
 
     def read(self, fd: int, count: int) -> bytes:
         out = self.inner.read(fd, count)
@@ -143,10 +143,14 @@ def replay(fs: FileSystemAPI, trace: str, strict: bool = True) -> int:
 
     With ``strict=False``, per-operation :class:`FSError` failures are
     tolerated (useful when replaying a partial trace after a crash).
+    Malformed input — an unknown op name, a bad field count, an undecodable
+    payload, or a reference to a never-opened token — raises
+    :class:`ValueError` naming the 1-based line number and the line, so a
+    corrupt trace points at itself rather than at the replay internals.
     """
     tokens: Dict[int, int] = {}
     ops = 0
-    for line in trace.splitlines():
+    for lineno, line in enumerate(trace.splitlines(), start=1):
         if not line.strip():
             continue
         parts = line.split("\t")
@@ -192,4 +196,8 @@ def replay(fs: FileSystemAPI, trace: str, strict: bool = True) -> int:
         except FSError:
             if strict:
                 raise
+        except (ValueError, KeyError, IndexError) as exc:
+            raise ValueError(
+                f"trace line {lineno}: cannot replay {line!r}: {exc}"
+            ) from exc
     return ops

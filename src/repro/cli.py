@@ -181,6 +181,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 0
 
     results = wc.run_suite(repeats=args.repeats)
+    if args.attribution:
+        # Traced re-runs of the IO specs; simulated totals are identical to
+        # the untraced suite (the observer only listens), so attaching the
+        # per-layer rows to the golden extras never perturbs the SIM_KEYS
+        # that --check gates on.
+        from .obs.profile import profile_report, run_profile
+
+        profiled = run_profile("bench")
+        print(profile_report(profiled))
+        print()
+        for r in profiled:
+            name = r.workload[len("bench-"):]
+            if name in results:
+                results[name]["attribution"] = r.rows()
+                results[name]["attribution_residual_ns"] = r.residual_ns
     golden = None
     reference = None
     if args.check or args.output:
@@ -217,6 +232,51 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.output:
         wc.write_golden(wc.emit_golden(results, reference), args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.profile import (
+        overhead_guard,
+        profile_report,
+        results_to_json,
+        run_profile,
+        write_outputs,
+    )
+
+    if args.guard:
+        guard = overhead_guard(repeats=args.guard_repeats)
+        if args.json:
+            print(json.dumps(guard, indent=1))
+        else:
+            print(f"overhead guard: instrumented "
+                  f"{guard['instrumented_wall_s'] * 1e3:.1f} ms vs baseline "
+                  f"{guard['baseline_wall_s'] * 1e3:.1f} ms "
+                  f"(ratio {guard['overhead_ratio']:.3f}, "
+                  f"limit {guard['limit_wall_s'] * 1e3:.1f} ms) -> "
+                  f"{'ok' if guard['ok'] else 'FAIL'}")
+        return 0 if guard["ok"] else 1
+
+    results = run_profile(
+        args.workload, systems=args.system, total_mb=args.total_mb,
+        file_mb=args.file_mb, patterns=args.pattern,
+        ycsb_phase=args.ycsb_workload, records=args.records,
+        operation_count=args.ops, trace_fences=args.trace_fences)
+    written = write_outputs(results, args.out_dir) if args.out_dir else []
+    doc = results_to_json(args.workload, results)
+    if args.json:
+        print(json.dumps(doc, indent=1))
+    else:
+        print(profile_report(results))
+        for path in written:
+            print(f"wrote {path}")
+    trace_errors = [err for r in doc["results"] for err in r["trace_errors"]]
+    if trace_errors:
+        for err in trace_errors:
+            print(f"TRACE SCHEMA FAIL {err}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -336,6 +396,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", metavar="PATH",
                    help="write results (preserving any recorded reference "
                         "block) to PATH")
+    p.add_argument("--attribution", action="store_true",
+                   help="also run the IO specs under tracing and embed the "
+                        "per-layer latency-attribution rows in the results "
+                        "(extra keys only; --check still gates on SIM_KEYS)")
+
+    p = sub.add_parser(
+        "profile",
+        help="run a workload under span tracing; emit attribution table, "
+             "Chrome trace JSON, collapsed stacks")
+    p.add_argument("--workload", default="table1",
+                   choices=["table1", "iopatterns", "ycsb", "bench"])
+    p.add_argument("--system", action="append", choices=SYSTEM_NAMES,
+                   help="system(s) to profile (default: the workload's "
+                        "standard set)")
+    p.add_argument("--total-mb", type=int, default=8,
+                   help="table1 append volume (matches repro table1)")
+    p.add_argument("--file-mb", type=int, default=8,
+                   help="iopatterns file size (matches repro iopatterns)")
+    p.add_argument("--pattern", action="append",
+                   choices=["seq-read", "rand-read", "seq-write",
+                            "rand-write", "append"],
+                   help="iopatterns pattern(s) (default: all five)")
+    p.add_argument("--ycsb-workload", default="A",
+                   choices=["load", "A", "B", "C", "D", "E", "F"])
+    p.add_argument("--records", type=int, default=1000)
+    p.add_argument("--ops", type=int, default=1500)
+    p.add_argument("--trace-fences", action="store_true",
+                   help="emit one span per sfence (verbose)")
+    p.add_argument("--out-dir", metavar="DIR",
+                   help="write trace_*.json and collapsed_*.txt files here")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable results on stdout (for CI)")
+    p.add_argument("--guard", action="store_true",
+                   help="instead of profiling, check that disabled-mode "
+                        "instrumentation overhead is within tolerance")
+    p.add_argument("--guard-repeats", type=int, default=5)
 
     p = sub.add_parser(
         "ras-report",
@@ -356,6 +452,7 @@ _COMMANDS = {
     "crashmc": cmd_crashmc,
     "fuzz": cmd_fuzz,
     "bench": cmd_bench,
+    "profile": cmd_profile,
     "ras-report": cmd_ras_report,
     "crashdemo": cmd_crashdemo,
 }

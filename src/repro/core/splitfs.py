@@ -156,6 +156,12 @@ class OpenDesc:
 class SplitFS(FileSystemAPI):
     """A U-Split instance bound to one process and one K-Split (ext4-DAX)."""
 
+    # Syscalls enter through the user-space interception layer, so time not
+    # claimed by a deeper span (staging, relink, oplog, or the kernel path's
+    # own spans) attributes to "usplit", the paper's userspace category.
+    SPAN_PREFIX = "usplit"
+    SPAN_CATEGORY = "usplit"
+
     def __init__(
         self,
         kfs: Ext4DaxFS,
@@ -257,11 +263,12 @@ class SplitFS(FileSystemAPI):
         """Append to the operation log, checkpointing when full."""
         if self.oplog is None:
             return
-        try:
-            self.oplog.append(entry)
-        except LogFullError:
-            self.checkpoint()
-            self.oplog.append(entry)
+        with self.clock.obs.span("usplit.oplog_append", cat="oplog"):
+            try:
+                self.oplog.append(entry)
+            except LogFullError:
+                self.checkpoint()
+                self.oplog.append(entry)
 
     def _metadata_sync(self) -> None:
         """Sync mode: metadata operations are synchronous, so commit the
@@ -629,6 +636,11 @@ class SplitFS(FileSystemAPI):
     def _stage_data(self, ufile: UFile, data: bytes, offset: int, op: int) -> None:
         """Route bytes to staging, extending the active run when the write
         continues it (both appends and strict-mode sequential overwrites)."""
+        with self.clock.obs.span("usplit.stage_data", cat="staging"):
+            self._stage_data_locked(ufile, data, offset, op)
+
+    def _stage_data_locked(self, ufile: UFile, data: bytes, offset: int,
+                           op: int) -> None:
         if self.degraded and not self._maybe_repromote():
             self._degraded_write(ufile, data, offset)
             return
@@ -727,10 +739,11 @@ class SplitFS(FileSystemAPI):
         (the operation log cannot describe kernel-path writes) — the
         documented cost of not failing the write.
         """
-        self.rstats.degraded_ops += 1
-        self.kfs.pwrite(ufile.kfd, data, offset)
-        if self.mode.sync_data:
-            self.kfs.fsync(ufile.kfd)
+        with self.clock.obs.span("usplit.kernel_fallback", cat="fallback"):
+            self.rstats.degraded_ops += 1
+            self.kfs.pwrite(ufile.kfd, data, offset)
+            if self.mode.sync_data:
+                self.kfs.fsync(ufile.kfd)
 
     def _staged_store(self, run: StagedRun, data: bytes) -> None:
         """movnt ``data`` into the run's staging region (no kernel trap)."""
@@ -795,6 +808,10 @@ class SplitFS(FileSystemAPI):
 
     def _relink_file(self, ufile: UFile, durable: bool = True) -> None:
         """Move all staged data into the target file (Figure 2)."""
+        with self.clock.obs.span("usplit.relink", cat="relink"):
+            self._relink_file_locked(ufile, durable)
+
+    def _relink_file_locked(self, ufile: UFile, durable: bool = True) -> None:
         runs = ufile.all_runs()
         ufile.active_run = None
         ufile.staged_runs = []

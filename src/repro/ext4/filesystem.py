@@ -68,6 +68,8 @@ class Ext4Config:
 class Ext4DaxFS(FileSystemAPI, KernelCosts):
     """The simulated ext4-DAX instance (K-Split in SplitFS terms)."""
 
+    SPAN_PREFIX = "ext4"
+
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
         self.pm = machine.pm
@@ -245,11 +247,13 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
         self.journal = Journal(self.pm, jstart, jblocks)
         self.journal.format()
         self.journal.on_reset = self._flush_quarantine
+        self.machine.metrics.register_source("journal.jbd2", self.journal.stats)
 
     def _recover_journal(self, jstart: int, jblocks: int) -> None:
         self.journal = Journal(self.pm, jstart, jblocks)
         self.journal.recover()
         self.journal.on_reset = self._flush_quarantine
+        self.machine.metrics.register_source("journal.jbd2", self.journal.stats)
 
     def _flush_quarantine(self) -> None:
         """The journal region reset: no stale transactions can replay any

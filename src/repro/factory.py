@@ -57,17 +57,22 @@ def make_filesystem(
     splitfs_config: Optional[SplitFSConfig] = None,
     ras: bool = False,
     ras_config=None,
+    observer=None,
 ) -> Tuple[Machine, FileSystemAPI]:
     """Build a freshly formatted file system of the named kind.
 
     Returns ``(machine, fs)``; the machine's clock and device stats hold
     every measurement an experiment needs.  ``ras=True`` enables the online
     RAS layer (checksums, metadata replication, scrubbing, degraded mode)
-    on the machine before formatting.
+    on the machine before formatting.  ``observer`` (a
+    :class:`~repro.obs.Observer`) binds span tracing and latency
+    attribution to the machine's clock before any setup work runs.
     """
     if name not in SYSTEM_NAMES:
         raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
-    machine = machine or Machine(pm_size)
+    machine = machine or Machine(pm_size, observer=observer)
+    if observer is not None and machine.obs is not observer:
+        observer.bind(machine.clock)
     if ras or ras_config is not None:
         machine.enable_ras(ras_config)
     if name == "ext4dax":

@@ -118,6 +118,10 @@ class Journal:
         (via the journal) and lazily written back in place."""
         if not txn:
             return
+        with self.pm.clock.obs.span("jbd2.commit", cat="journal"):
+            self._commit_locked(txn)
+
+    def _commit_locked(self, txn: Transaction) -> None:
         count = len(txn)
         needed = count + 2  # descriptor + blocks + commit record block
         if needed > self.nblocks - 1:
@@ -161,6 +165,10 @@ class Journal:
 
     def _checkpoint(self) -> None:
         """Make in-place writebacks durable and restart the journal region."""
+        with self.pm.clock.obs.span("jbd2.checkpoint", cat="journal"):
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> None:
         self.pm.sfence(category=Category.META_IO)
         self.stats.checkpoints += 1
         self._head = 1
@@ -180,6 +188,10 @@ class Journal:
         commit record is present and checksums correctly.  Returns the number
         of transactions replayed.  Leaves the journal reset and ready.
         """
+        with self.pm.clock.obs.span("jbd2.recover", cat="journal"):
+            return self._recover_locked()
+
+    def _recover_locked(self) -> int:
         sb_raw = self.pm.load(
             self._addr(0), struct.calcsize(_SB_FMT), category=Category.META_IO
         )

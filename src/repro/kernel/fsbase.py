@@ -69,12 +69,22 @@ class KernelCosts:
 
     def _trap(self) -> None:
         """One syscall entry/exit."""
-        self.clock.charge_cpu(C.KERNEL_TRAP_NS)
+        obs = self.clock.obs
+        if obs.enabled:
+            with obs.span("kernel.trap", cat="trap"):
+                self.clock.charge_cpu(C.KERNEL_TRAP_NS)
+        else:
+            self.clock.charge_cpu(C.KERNEL_TRAP_NS)
 
     def _walk(self, path: str) -> None:
         """Path-resolution CPU cost (per component, minimum one)."""
         ncomp = max(1, sum(1 for c in path.split("/") if c))
-        self.clock.charge_cpu(ncomp * C.PATH_WALK_PER_COMPONENT_NS)
+        obs = self.clock.obs
+        if obs.enabled:
+            with obs.span("kernel.path_walk", cat="vfs"):
+                self.clock.charge_cpu(ncomp * C.PATH_WALK_PER_COMPONENT_NS)
+        else:
+            self.clock.charge_cpu(ncomp * C.PATH_WALK_PER_COMPONENT_NS)
 
 
 def new_offset(of: OpenFile, size: int, offset: int, whence: int) -> int:

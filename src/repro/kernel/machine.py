@@ -5,6 +5,7 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from ..obs import MetricsRegistry, NULL_OBSERVER
 from ..pmem.cache import CrashPolicy
 from ..pmem.device import PersistentMemory, VolatileMemory
 from ..pmem.faults import FaultInjector
@@ -26,8 +27,10 @@ class Machine:
     """
 
     def __init__(self, pm_size: int = DEFAULT_PM_SIZE, dram_size: int = 0,
-                 seed: Optional[int] = 0) -> None:
+                 seed: Optional[int] = 0, observer=None) -> None:
         self.clock = SimClock()
+        if observer is not None:
+            observer.bind(self.clock)
         self.faults = FaultInjector()
         self.pm = PersistentMemory(pm_size, self.clock, faults=self.faults)
         self.vm = VirtualMemory(self.clock)
@@ -40,6 +43,19 @@ class Machine:
         #: Optional :class:`~repro.ras.RASController`; ``None`` until
         #: :meth:`enable_ras` opts this machine into the RAS layer.
         self.ras = None
+        #: Machine-wide metrics registry; subsystem stats structs are
+        #: registered as sources so ``metrics.collect()`` exports them under
+        #: ``layer.subsystem.metric`` names and ``metrics.reset()`` rewinds
+        #: every counter through one path.
+        self.metrics = MetricsRegistry()
+        self.metrics.register_source("pmem.device", self.pm.stats)
+        self.metrics.register_source("pmem.faults", self.faults)
+        self.metrics.register_source("kernel.vm", self.vm.stats)
+
+    @property
+    def obs(self):
+        """The observer bound to this machine's clock (NullObserver when off)."""
+        return self.clock.obs
 
     def enable_ras(self, config=None):
         """Opt this machine into the online RAS layer (checksums, metadata
@@ -50,6 +66,7 @@ class Machine:
         if self.ras is None:
             self.ras = RASController(self.pm, config)
             self.pm.ras = self.ras
+            self.metrics.register_source("ras.controller", self.ras.stats)
         elif config is not None:
             self.ras.config = config
         return self.ras

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..obs.observer import NULL_OBSERVER
 from ..posix import flags as F
 from ..posix.api import FileSystemAPI, Stat
 from ..posix.errors import (
@@ -24,17 +25,26 @@ from ..posix.errors import (
 class VFS(FileSystemAPI):
     """Longest-prefix mount routing over :class:`FileSystemAPI` instances."""
 
+    SPAN_PREFIX = "vfs"
+    SPAN_CATEGORY = "vfs"
+
     #: Resolved paths cached per VFS instance (dentry-cache analogue).  The
     #: mount table is the only input to resolution, so entries stay valid
     #: until a mount()/unmount() invalidates them.  Bounded so pathological
     #: workloads (millions of distinct paths) cannot grow it without limit.
     RESOLVE_CACHE_MAX = 8192
 
-    def __init__(self, root: FileSystemAPI) -> None:
+    def __init__(self, root: FileSystemAPI, obs=NULL_OBSERVER) -> None:
         self._mounts: Dict[str, FileSystemAPI] = {"/": root}
         self._fds: Dict[int, Tuple[FileSystemAPI, int]] = {}
         self._next_fd = 10_000
         self._resolve_cache: Dict[str, Tuple[FileSystemAPI, str]] = {}
+        #: Observability sink; a bound :class:`~repro.obs.Observer` records
+        #: ``vfs.resolve`` spans and dentry-cache hit/miss counters.
+        self.obs = obs
+
+    def _observer(self):
+        return self.obs
 
     # -- mount management -----------------------------------------------------
 
@@ -58,8 +68,18 @@ class VFS(FileSystemAPI):
     def resolve(self, path: str) -> Tuple[FileSystemAPI, str]:
         """Longest-prefix match: returns (fs, path-within-that-fs)."""
         cached = self._resolve_cache.get(path)
+        obs = self.obs
         if cached is not None:
+            if obs.enabled:
+                obs.registry.counter("kernel.vfs.resolve_hits").inc()
             return cached
+        if obs.enabled:
+            obs.registry.counter("kernel.vfs.resolve_misses").inc()
+            with obs.span("vfs.resolve", cat="vfs"):
+                return self._resolve_slow(path)
+        return self._resolve_slow(path)
+
+    def _resolve_slow(self, path: str) -> Tuple[FileSystemAPI, str]:
         if not path.startswith("/"):
             raise InvalidArgumentFSError(f"path must be absolute: {path!r}")
         best = "/"

@@ -116,16 +116,26 @@ class VirtualMemory:
     # -- internal charging ----------------------------------------------------
 
     def _charge_fault(self, huge: bool) -> None:
+        obs = self.clock.obs
         if huge:
             self.stats.faults_huge += 1
-            self.clock.charge_cpu(C.PAGE_FAULT_HUGE_NS)
+            if obs.enabled:
+                with obs.span("vm.fault.huge", cat="fault"):
+                    self.clock.charge_cpu(C.PAGE_FAULT_HUGE_NS)
+            else:
+                self.clock.charge_cpu(C.PAGE_FAULT_HUGE_NS)
         else:
             self.stats.faults_4k += 1
-            self.clock.charge_cpu(C.PAGE_FAULT_4K_NS)
+            if obs.enabled:
+                with obs.span("vm.fault.4k", cat="fault"):
+                    self.clock.charge_cpu(C.PAGE_FAULT_4K_NS)
+            else:
+                self.clock.charge_cpu(C.PAGE_FAULT_4K_NS)
 
     def _destroy(self, mapping: Mapping) -> None:
         self.stats.vmas_destroyed += 1
-        self.clock.charge_cpu(C.MUNMAP_NS)
+        with self.clock.obs.span("vm.munmap", cat="vm"):
+            self.clock.charge_cpu(C.MUNMAP_NS)
 
     # -- public API ---------------------------------------------------------------
 
@@ -143,7 +153,8 @@ class VirtualMemory:
         length are 2 MB-aligned.  Otherwise the mapping silently falls back
         to 4 KB pages (more populate faults).
         """
-        self.clock.charge_cpu(C.VMA_SETUP_NS)
+        with self.clock.obs.span("vm.mmap", cat="vm"):
+            self.clock.charge_cpu(C.VMA_SETUP_NS)
         self.stats.vmas_created += 1
 
         segments: List[Segment] = []

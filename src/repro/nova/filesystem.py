@@ -88,6 +88,8 @@ class NovaConfig:
 class NovaFS(FileSystemAPI, KernelCosts):
     """The simulated NOVA instance."""
 
+    SPAN_PREFIX = "nova"
+
     def __init__(self, machine: Machine, strict: bool = True) -> None:
         self.machine = machine
         self.pm = machine.pm
@@ -262,6 +264,10 @@ class NovaFS(FileSystemAPI, KernelCosts):
 
     def _log_append(self, inode: NovaInode, entry: "L.LogEntry") -> None:
         """Append one entry and persist the tail: 2 lines, 2 fences."""
+        with self.clock.obs.span("nova.log_append", cat="journal"):
+            self._log_append_locked(inode, entry)
+
+    def _log_append_locked(self, inode: NovaInode, entry: "L.LogEntry") -> None:
         if len(inode.log_pages) >= self.GC_THRESHOLD_PAGES:
             self._log_gc(inode)
         raw = L.encode_entry(entry)
@@ -306,6 +312,10 @@ class NovaFS(FileSystemAPI, KernelCosts):
         switch — a crash on either side sees a complete log.  The old pages
         are freed afterwards.
         """
+        with self.clock.obs.span("nova.log_gc", cat="journal"):
+            self._log_gc_locked(inode)
+
+    def _log_gc_locked(self, inode: NovaInode) -> None:
         live = self._live_entries(inode)
         needed_pages = max(1, -(-len(live) // L.ENTRIES_PER_PAGE) + 1)
         if needed_pages >= len(inode.log_pages) // 2:
@@ -337,6 +347,10 @@ class NovaFS(FileSystemAPI, KernelCosts):
 
     def _replay_log(self, inode: NovaInode) -> None:
         """Rebuild extent map / dirents by walking the inode's log chain."""
+        with self.clock.obs.span("nova.log_replay", cat="journal"):
+            self._replay_log_locked(inode)
+
+    def _replay_log_locked(self, inode: NovaInode) -> None:
         block = inode.log_head
         target = (inode.tail_block, inode.tail_slot)
         while block:

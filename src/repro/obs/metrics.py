@@ -1,0 +1,242 @@
+"""Metrics registry: named counters, gauges, and log-bucketed histograms.
+
+Naming convention: ``layer.subsystem.metric`` (e.g. ``pmem.device.fences``,
+``span.ext4.write.ns``, ``ras.controller.scrub_passes``).  Histograms are
+HDR-style log-bucketed over simulated nanoseconds: bucket ``i`` covers
+``[2**i, 2**(i+1))`` ns, which keeps relative error bounded (~2x) over the
+ten decades a simulated trace spans while using O(64) ints of state.
+
+The registry also subsumes the ad-hoc stats structs that grew organically
+in ``pmem``, ``ras``, and ``bench``: :meth:`MetricsRegistry.register_source`
+flattens any dataclass of numeric fields into gauges at collection time,
+and :func:`reset_counter_fields` gives those structs a single, metadata-
+driven reset path so per-subsystem reset logic can't drift.
+
+Like ``obs.observer``, this module imports nothing from the rest of
+``repro`` so it can sit below the clock in the import graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+_HIST_BUCKETS = 64  # 2**64 ns ≈ 584 years; plenty for simulated time
+
+
+class Counter:
+    """Monotonic within a collection window; ``reset()`` rewinds to zero."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, delta: float = 1.0) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """Last-write-wins sample (queue depths, cache sizes, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Log-bucketed (power-of-two) histogram over non-negative values.
+
+    Tracks exact count/sum/min/max alongside the buckets, so means are
+    exact and only quantiles carry the ~2x bucket error.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.buckets: List[int] = [0] * _HIST_BUCKETS
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            value = 0.0
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.buckets[self._bucket_index(value)] += 1
+
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        iv = int(value)
+        if iv < 1:
+            return 0
+        idx = iv.bit_length() - 1
+        return idx if idx < _HIST_BUCKETS else _HIST_BUCKETS - 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (upper bound of the covering bucket)."""
+        if not self.count:
+            return 0.0
+        target = max(1, int(self.count * p / 100.0 + 0.999999))
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target:
+                upper = float(2 ** (i + 1) - 1)
+                return min(upper, self.max)
+        return self.max  # pragma: no cover - unreachable (counts sum to count)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.buckets = [0] * _HIST_BUCKETS
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+def counter_field(default: Any = 0, **kwargs: Any) -> Any:
+    """A dataclass field marked as a resettable counter.
+
+    Stats structs declare ``fired: int = counter_field()`` and gain a
+    drift-proof reset via :func:`reset_counter_fields` — the reset walks the
+    metadata instead of a hand-maintained list of names.
+    """
+    metadata = dict(kwargs.pop("metadata", ()) or {})
+    metadata["counter"] = True
+    return dataclasses.field(default=default, metadata=metadata, **kwargs)
+
+
+def reset_counter_fields(obj: Any) -> None:
+    """Zero every ``counter_field`` on a dataclass instance to its default."""
+    for f in dataclasses.fields(obj):
+        if f.metadata.get("counter"):
+            if f.default is not dataclasses.MISSING:
+                setattr(obj, f.name, f.default)
+            elif f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                setattr(obj, f.name, f.default_factory())  # type: ignore[misc]
+            else:  # pragma: no cover - counter fields always carry defaults
+                setattr(obj, f.name, 0)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics plus registered stat sources.
+
+    ``counter``/``gauge``/``histogram`` return the live instrument for a
+    name, creating it on first use.  ``register_source(prefix, obj)`` links
+    an existing stats object (any dataclass of numeric fields, e.g.
+    ``DeviceStats``, ``RASStats``, ``FaultInjector``) so ``collect()``
+    exports its fields as ``<prefix>.<field>`` gauges and ``reset()``
+    rewinds its counter fields along with every registered instrument.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._sources: List[Tuple[str, Any]] = []
+
+    # -- instruments ----------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    # -- sources --------------------------------------------------------------
+
+    def register_source(self, prefix: str, obj: Any) -> None:
+        """Expose a stats dataclass's numeric fields as ``prefix.field``."""
+        self._sources = [(p, o) for (p, o) in self._sources
+                         if not (p == prefix and o is not obj)]
+        if not any(o is obj for _, o in self._sources):
+            self._sources.append((prefix, obj))
+
+    @staticmethod
+    def _source_items(prefix: str, obj: Any) -> Iterable[Tuple[str, float]]:
+        if dataclasses.is_dataclass(obj):
+            for f in dataclasses.fields(obj):
+                v = getattr(obj, f.name)
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    yield f"{prefix}.{f.name}", float(v)
+
+    # -- registry-wide operations ---------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every instrument and every registered source's counters."""
+        for c in self._counters.values():
+            c.reset()
+        for g in self._gauges.values():
+            g.reset()
+        for h in self._histograms.values():
+            h.reset()
+        for _, obj in self._sources:
+            if dataclasses.is_dataclass(obj) and any(
+                    f.metadata.get("counter") for f in dataclasses.fields(obj)):
+                reset_counter_fields(obj)
+            elif hasattr(obj, "reset"):
+                obj.reset()
+
+    def collect(self) -> Dict[str, Any]:
+        """Flat ``{name: value}`` snapshot (histograms export sub-keys)."""
+        out: Dict[str, Any] = {}
+        for name, c in sorted(self._counters.items()):
+            out[name] = c.value
+        for name, g in sorted(self._gauges.items()):
+            out[name] = g.value
+        for name, h in sorted(self._histograms.items()):
+            for k, v in h.as_dict().items():
+                out[f"{name}.{k}"] = v
+        for prefix, obj in self._sources:
+            for name, value in self._source_items(prefix, obj):
+                out[name] = value
+        return out
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)

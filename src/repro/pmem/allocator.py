@@ -69,7 +69,12 @@ class ExtentAllocator:
 
     def _charge(self) -> None:
         if self.clock is not None:
-            self.clock.charge_cpu(C.ALLOC_CPU_NS)
+            obs = self.clock.obs
+            if obs.enabled:
+                with obs.span("pmem.alloc", cat="alloc"):
+                    self.clock.charge_cpu(C.ALLOC_CPU_NS)
+            else:
+                self.clock.charge_cpu(C.ALLOC_CPU_NS)
         if self.faults is not None:
             self.faults.on_alloc()
 

@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..obs.metrics import counter_field, reset_counter_fields
 from ..posix.errors import NoSpaceFSError
 from .device import PMError, PersistentMemory
 
@@ -51,10 +52,10 @@ class FaultInjector:
     poisoned: List[Tuple[int, int]] = field(default_factory=list)
     alloc_countdown: Optional[int] = None
     alloc_every: Optional[int] = None
-    media_faults_fired: int = 0
-    alloc_faults_fired: int = 0
-    poison_cleared_by_write: int = 0
-    _alloc_seen: int = 0
+    media_faults_fired: int = counter_field()
+    alloc_faults_fired: int = counter_field()
+    poison_cleared_by_write: int = counter_field()
+    _alloc_seen: int = counter_field()
 
     # -- arming --------------------------------------------------------------
 
@@ -94,11 +95,13 @@ class FaultInjector:
         self.alloc_every = n
 
     def reset_counters(self) -> None:
-        """Zero the fired-fault counters (between crashmc replay states)."""
-        self.media_faults_fired = 0
-        self.alloc_faults_fired = 0
-        self.poison_cleared_by_write = 0
-        self._alloc_seen = 0
+        """Zero the fired-fault counters (between crashmc replay states).
+
+        Delegates to the metrics layer's metadata-driven reset: every field
+        declared with ``counter_field`` is rewound, so this can't drift from
+        the field list the way a hand-maintained zeroing block could.
+        """
+        reset_counter_fields(self)
 
     def clear(self) -> None:
         self.poisoned.clear()

@@ -24,6 +24,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
+from ..obs.observer import NULL_OBSERVER
+
 
 class Category(enum.Enum):
     """What a span of simulated time was spent on."""
@@ -99,6 +101,10 @@ class SimClock:
 
     account: TimeAccount = field(default_factory=TimeAccount)
     _scopes: list = field(default_factory=list)
+    #: Observability sink (``repro.obs``).  The NullObserver default keeps
+    #: the hook to a single attribute test on the hot path; a bound
+    #: ``Observer`` sees every charge for span attribution.
+    obs: object = field(default=NULL_OBSERVER, repr=False)
 
     @property
     def now_ns(self) -> float:
@@ -109,6 +115,8 @@ class SimClock:
         self.account.charge(ns, category)
         for scope in self._scopes:
             scope.charge(ns, category)
+        if self.obs.enabled:
+            self.obs.on_charge(ns, category)
 
     def charge_cpu(self, ns: float) -> None:
         self.charge(ns, Category.CPU)

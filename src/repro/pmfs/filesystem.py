@@ -31,6 +31,8 @@ PmfsConfig = Ext4Config
 class PmfsFS(Ext4DaxFS):
     """The simulated PMFS instance."""
 
+    SPAN_PREFIX = "pmfs"
+
     def __init__(self, machine: Machine) -> None:
         super().__init__(machine)
         self.undo: UndoJournal = None  # type: ignore[assignment]

@@ -96,6 +96,10 @@ class UndoJournal:
         one, the records accumulate until the outermost commit.  Returns
         lines changed.
         """
+        with self.pm.clock.obs.span("pmfs.undo_update", cat="journal"):
+            return self._apply_update_locked(addr, new_content)
+
+    def _apply_update_locked(self, addr: int, new_content: bytes) -> int:
         if addr % C.CACHELINE_SIZE:
             raise ValueError("metadata updates must be line aligned")
         old = self.pm.peek(addr, len(new_content))
@@ -137,6 +141,10 @@ class UndoJournal:
 
         Returns the number of lines rolled back.
         """
+        with self.pm.clock.obs.span("pmfs.undo_recover", cat="journal"):
+            return self._recover_locked()
+
+    def _recover_locked(self) -> int:
         raw = self.pm.load(self.start, struct.calcsize(_DONE_FMT),
                            category=Category.META_IO)
         magic, done_gen = struct.unpack(_DONE_FMT, raw)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List
 
 from . import flags as F
+from ..obs.observer import NULL_OBSERVER
 from .errors import FSError, InvalidArgumentFSError, IOFSError
 
 
@@ -61,9 +62,22 @@ _SYSCALLS = (
 )
 
 
-def _errno_boundary(func):
+def _errno_boundary(func, syscall_name=None):
+    name = syscall_name or func.__name__
+
     @functools.wraps(func)
     def wrapper(self, *a, **kw):
+        obs = self._observer()
+        if obs.enabled and self.SPAN_PREFIX:
+            # Span covers the whole syscall (error paths included) so every
+            # charge inside attributes to this system's category unless a
+            # deeper span (trap, journal, alloc, fault, ...) claims it.
+            with obs.span(f"{self.SPAN_PREFIX}.{name}",
+                          cat=self.SPAN_CATEGORY):
+                return _call(self, a, kw)
+        return _call(self, a, kw)
+
+    def _call(self, a, kw):
         try:
             return func(self, *a, **kw)
         except FSError:
@@ -87,7 +101,29 @@ class FileSystemAPI(abc.ABC):
     absolute.  Errors are :class:`~repro.posix.errors.FSError` subclasses —
     :meth:`__init_subclass__` guarantees that by translating any device-level
     :class:`~repro.pmem.device.PMError` crossing the boundary into EIO.
+
+    The same boundary doubles as the top-level tracing hook: when an
+    :class:`~repro.obs.Observer` is bound to the instance's clock, each
+    syscall runs inside a ``<SPAN_PREFIX>.<name>`` span in category
+    ``SPAN_CATEGORY``, so every concrete system gets uniform syscall spans
+    without per-method instrumentation.  Wrappers that have no clock of
+    their own (e.g. the difftest oracle model, the trace recorder) keep
+    ``SPAN_PREFIX = ""`` and skip tracing entirely.
     """
+
+    #: Span name prefix for this system's syscalls ("" disables them).
+    SPAN_PREFIX: str = ""
+    #: Attribution category charges default to inside this system's spans.
+    SPAN_CATEGORY: str = "fs"
+
+    def _observer(self):
+        """The observer watching this instance (NullObserver when untraced).
+
+        Default: follow ``self.clock`` when the concrete class has one
+        (the kernel file systems); others override or stay untraced.
+        """
+        clock = getattr(self, "clock", None)
+        return clock.obs if clock is not None else NULL_OBSERVER
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
@@ -97,7 +133,7 @@ class FileSystemAPI(abc.ABC):
                 continue
             if getattr(method, "__isabstractmethod__", False):
                 continue
-            setattr(cls, name, _errno_boundary(method))
+            setattr(cls, name, _errno_boundary(method, name))
 
     # -- file lifecycle -----------------------------------------------------
 

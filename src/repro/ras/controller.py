@@ -48,6 +48,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from ..obs.metrics import counter_field, reset_counter_fields
 from ..pmem import constants as C
 from ..pmem.device import PMError
 from ..pmem.faults import MediaError
@@ -78,22 +79,22 @@ class RASConfig:
 class RASStats:
     """Cumulative RAS event counters (the ``ras-report`` surface)."""
 
-    media_detected: int = 0
-    media_repaired: int = 0
-    checksum_failures: int = 0
-    checksum_repaired: int = 0
-    unrecoverable: int = 0
-    scrub_passes: int = 0
-    scrub_bytes_scanned: int = 0
-    scrub_errors_found: int = 0
-    scrub_errors_repaired: int = 0
-    remapped_extents: int = 0
-    degraded_entries: int = 0
-    degraded_exits: int = 0
-    degraded_ops: int = 0
-    enospc_retries: int = 0
-    replica_bytes_written: int = 0
-    crc_bytes_verified: int = 0
+    media_detected: int = counter_field()
+    media_repaired: int = counter_field()
+    checksum_failures: int = counter_field()
+    checksum_repaired: int = counter_field()
+    unrecoverable: int = counter_field()
+    scrub_passes: int = counter_field()
+    scrub_bytes_scanned: int = counter_field()
+    scrub_errors_found: int = counter_field()
+    scrub_errors_repaired: int = counter_field()
+    remapped_extents: int = counter_field()
+    degraded_entries: int = counter_field()
+    degraded_exits: int = counter_field()
+    degraded_ops: int = counter_field()
+    enospc_retries: int = counter_field()
+    replica_bytes_written: int = counter_field()
+    crc_bytes_verified: int = counter_field()
 
     @property
     def detected(self) -> int:
@@ -108,6 +109,10 @@ class RASStats:
         d["detected"] = self.detected
         d["repaired"] = self.repaired
         return d
+
+    def reset(self) -> None:
+        """Zero every counter (shared metadata-driven reset path)."""
+        reset_counter_fields(self)
 
 
 class _Region:
@@ -284,7 +289,12 @@ class RASController:
         self._in_hook = True
         found = repaired = 0
         try:
-            with clock.measure() as acct:
+            # The span deliberately covers only the measured scrub work; the
+            # time is transferred to background_account below, so a traced
+            # run shows the pass as "ras" category but the foreground totals
+            # still exclude it (attribution subtracts what the account does).
+            with clock.obs.span("ras.scrub_pass", cat="ras"), \
+                    clock.measure() as acct:
                 for region in self.regions:
                     clock.charge(region.nbytes * C.RAS_SCRUB_NS_PER_BYTE,
                                  Category.META_IO)

@@ -68,6 +68,10 @@ def _repair_section(lines: List[str], seed: int) -> None:
         fd = fs.open("/victim", F.O_RDWR)
         fs.fsync(fd)
         fs.ras_protect_file("/victim")
+        # Setup (replication + protect) bumps RAS counters too; rewind them
+        # through the consolidated reset so the ledger below shows only the
+        # repair activity of the poisoned read-back.
+        ras.stats.reset()
         ext = fs.inodes[fs._resolve("/victim")].extmap.physical_extents()[0]
         hits = machine.faults.poison_rate(
             0.02, seed=seed,

@@ -67,6 +67,8 @@ class StrataConfig:
 class StrataFS(FileSystemAPI, KernelCosts):
     """The simulated Strata instance (single process-private log)."""
 
+    SPAN_PREFIX = "strata"
+
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
         self.pm = machine.pm
@@ -199,6 +201,10 @@ class StrataFS(FileSystemAPI, KernelCosts):
 
     def _log_append(self, record: L.Record, payload: bytes = b"") -> int:
         """Append one record; returns the log byte offset of the payload."""
+        with self.clock.obs.span("strata.log_append", cat="journal"):
+            return self._log_append_locked(record, payload)
+
+    def _log_append_locked(self, record: L.Record, payload: bytes = b"") -> int:
         record = dataclasses.replace(record, epoch=self.log_epoch)
         raw = L.encode(record, payload)
         if self.log_tail + len(raw) + C.CACHELINE_SIZE > self.log_capacity:
@@ -218,6 +224,10 @@ class StrataFS(FileSystemAPI, KernelCosts):
 
     def _replay_log(self) -> None:
         """Rebuild the DRAM overlay from the persistent private log."""
+        with self.clock.obs.span("strata.log_replay", cat="journal"):
+            self._replay_log_locked()
+
+    def _replay_log_locked(self) -> None:
         pos = 0
         while pos + C.CACHELINE_SIZE <= self.log_capacity:
             hdr = self.pm.load(self._log_addr(pos), C.CACHELINE_SIZE,
@@ -345,6 +355,10 @@ class StrataFS(FileSystemAPI, KernelCosts):
         gives Strata its append write-amplification), shared metadata is
         persisted, and the log is reset.
         """
+        with self.clock.obs.span("strata.digest", cat="journal"):
+            self._digest_locked()
+
+    def _digest_locked(self) -> None:
         self.digests += 1
         touched: List[int] = []
         for ino, intervals in self.overlay.items():

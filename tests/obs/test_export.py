@@ -1,0 +1,126 @@
+"""Exporters: attribution rows, Chrome trace JSON, collapsed stacks."""
+
+import json
+
+import pytest
+
+from repro.obs import Observer
+from repro.obs.export import (
+    attribution_rows,
+    render_attribution_table,
+    to_chrome_trace,
+    to_collapsed_stacks,
+    validate_chrome_trace,
+)
+from repro.pmem.timing import Category, SimClock
+
+
+def small_traced_run():
+    clock = SimClock()
+    obs = Observer()
+    obs.bind(clock)
+    with obs.span("ext4.pwrite", cat="fs"):
+        clock.charge(100, Category.CPU)
+        with obs.span("jbd2.commit", cat="journal"):
+            clock.charge(40, Category.META_IO)
+        clock.charge(60, Category.DATA)
+    obs.on_fence()
+    return clock, obs
+
+
+class TestAttributionRows:
+    def test_rows_partition_total_with_residual(self):
+        _, obs = small_traced_run()
+        rows = attribution_rows(obs.attribution, total_ns=200.0)
+        assert rows[-1]["category"] == "(residual)"
+        assert sum(r["total"] for r in rows) == pytest.approx(200.0)
+        by_cat = {r["category"]: r for r in rows}
+        assert by_cat["fs"]["cpu"] == 100
+        assert by_cat["fs"]["data"] == 60
+        assert by_cat["journal"]["meta_io"] == 40
+
+    def test_category_display_order(self):
+        rows = attribution_rows({"other": {"cpu": 1}, "journal": {"cpu": 1},
+                                 "usplit": {"cpu": 1}})
+        assert [r["category"] for r in rows] == ["usplit", "journal", "other"]
+
+    def test_unknown_categories_sort_after_known(self):
+        rows = attribution_rows({"zeta": {"cpu": 1}, "aardvark": {"cpu": 1},
+                                 "journal": {"cpu": 1}})
+        assert [r["category"] for r in rows] == ["journal", "aardvark", "zeta"]
+
+    def test_render_table_has_total_row(self):
+        _, obs = small_traced_run()
+        text = render_attribution_table("t", obs.attribution, total_ns=200.0,
+                                        operations=2)
+        assert "TOTAL" in text and "100.0%" in text
+        assert "journal" in text and "ns/op" in text
+
+
+class TestChromeTrace:
+    def test_emitted_trace_validates(self):
+        _, obs = small_traced_run()
+        doc = to_chrome_trace(obs)
+        assert validate_chrome_trace(doc) == []
+        # JSON-serializable end to end.
+        assert validate_chrome_trace(json.loads(json.dumps(doc))) == []
+
+    def test_trace_structure(self):
+        _, obs = small_traced_run()
+        doc = to_chrome_trace(obs, process_name="p", pid=3, tid=4)
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"ext4.pwrite", "jbd2.commit"}
+        outer = next(e for e in xs if e["name"] == "ext4.pwrite")
+        inner = next(e for e in xs if e["name"] == "jbd2.commit")
+        # Microsecond timestamps; containment preserved.
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+        assert outer["args"]["self_ns"] == 160
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters and counters[0]["args"]["count"] == 1
+
+    def test_validator_rejects_corruption(self):
+        assert validate_chrome_trace([]) != []           # not an object
+        assert validate_chrome_trace({}) != []           # no traceEvents
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "Q", "name": "x"}]}) != []  # bad phase
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "x", "ts": -1, "dur": 1,
+                              "pid": 1, "tid": 1}]}) != []      # negative ts
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": 5, "ts": 0, "dur": 1,
+                              "pid": 1, "tid": 1}]}) != []      # bad type
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "name": "x"}]}) != []  # missing
+        assert validate_chrome_trace(
+            {"traceEvents": [], "displayTimeUnit": "weeks"}) != []
+
+    def test_validator_truncates_error_flood(self):
+        bad = {"traceEvents": [{"ph": "Q"}] * 500}
+        errors = validate_chrome_trace(bad)
+        assert errors[-1] == "... (truncated)"
+        assert len(errors) <= 52
+
+
+class TestCollapsedStacks:
+    def test_lines_weighted_by_self_time(self):
+        _, obs = small_traced_run()
+        text = to_collapsed_stacks(obs)
+        lines = dict(line.rsplit(" ", 1) for line in text.strip().split("\n"))
+        assert lines["ext4.pwrite"] == "160"
+        assert lines["ext4.pwrite;jbd2.commit"] == "40"
+
+    def test_sum_reproduces_attributed_span_time(self):
+        from repro.bench.harness import append_4k_workload
+
+        obs = Observer()
+        append_4k_workload("splitfs-strict", total_bytes=256 * 1024,
+                           observer=obs)
+        text = to_collapsed_stacks(obs)
+        total = sum(int(line.rsplit(" ", 1)[1])
+                    for line in text.strip().split("\n"))
+        span_self = sum(obs.collapsed.values())
+        assert total == pytest.approx(span_self, abs=len(obs.collapsed))
+
+    def test_empty_observer_empty_file(self):
+        assert to_collapsed_stacks(Observer()) == ""

@@ -1,0 +1,166 @@
+"""Metrics registry: instruments, dataclass sources, consolidated reset."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_field,
+    reset_counter_fields,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        c.reset()
+        assert c.value == 0.0
+
+    def test_gauge(self):
+        g = Gauge("g")
+        g.set(42)
+        assert g.value == 42
+        g.reset()
+        assert g.value == 0.0
+
+    def test_histogram_exact_moments(self):
+        h = Histogram("h")
+        for v in (1, 10, 100, 1000):
+            h.record(v)
+        assert h.count == 4
+        assert h.sum == 1111
+        assert h.min == 1 and h.max == 1000
+        assert h.mean == pytest.approx(277.75)
+
+    def test_histogram_percentile_bounds(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.record(v)
+        # Log-bucketed: quantiles are upper bounds within a 2x bucket,
+        # clamped to the observed max.
+        assert 50 <= h.percentile(50) <= 127
+        assert 99 <= h.percentile(99) <= 100
+        assert h.percentile(100) == 100
+
+    def test_histogram_negative_clamped_and_reset(self):
+        h = Histogram("h")
+        h.record(-5)
+        assert h.count == 1 and h.min == 0.0
+        h.reset()
+        assert h.count == 0 and h.sum == 0.0
+        assert h.as_dict()["min"] == 0.0
+
+    def test_histogram_as_dict_keys(self):
+        h = Histogram("h")
+        h.record(7)
+        d = h.as_dict()
+        assert set(d) == {"count", "sum", "min", "max", "mean", "p50", "p99"}
+
+
+@dataclass
+class FakeStats:
+    fired: int = counter_field()
+    bytes_moved: float = counter_field(0.0)
+    label: str = "x"          # non-numeric: never exported
+    high_water: int = 7       # plain field: exported, not reset
+
+
+class TestCounterFields:
+    def test_reset_only_marked_fields(self):
+        st = FakeStats()
+        st.fired = 5
+        st.bytes_moved = 123.0
+        st.high_water = 99
+        reset_counter_fields(st)
+        assert st.fired == 0 and st.bytes_moved == 0.0
+        assert st.high_water == 99  # untouched: not a counter_field
+
+
+class TestRegistry:
+    def test_get_or_create_returns_live_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        reg.counter("a").inc(3)
+        assert reg.collect()["a"] == 3.0
+
+    def test_register_source_flattens_numeric_fields(self):
+        reg = MetricsRegistry()
+        st = FakeStats()
+        st.fired = 4
+        reg.register_source("pmem.fake", st)
+        out = reg.collect()
+        assert out["pmem.fake.fired"] == 4.0
+        assert out["pmem.fake.high_water"] == 7.0
+        assert "pmem.fake.label" not in out
+
+    def test_register_source_same_prefix_replaces(self):
+        reg = MetricsRegistry()
+        old, new = FakeStats(), FakeStats()
+        new.fired = 9
+        reg.register_source("s", old)
+        reg.register_source("s", new)
+        assert reg.collect()["s.fired"] == 9.0
+        # Re-registering the identical object is idempotent.
+        reg.register_source("s", new)
+        assert sum(1 for k in reg.collect() if k.startswith("s.")) == 3
+
+    def test_reset_rewinds_instruments_and_sources(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(5)
+        reg.histogram("h").record(5)
+        st = FakeStats()
+        st.fired = 8
+        reg.register_source("s", st)
+        reg.reset()
+        assert st.fired == 0
+        out = reg.collect()
+        assert out["c"] == 0.0 and out["g"] == 0.0 and out["h.count"] == 0
+
+    def test_reset_falls_back_to_source_reset_method(self):
+        class LegacyStats:
+            def __init__(self):
+                self.n = 3
+                self.was_reset = False
+
+            def reset(self):
+                self.n = 0
+                self.was_reset = True
+
+        reg = MetricsRegistry()
+        legacy = LegacyStats()
+        reg.register_source("legacy", legacy)
+        reg.reset()
+        assert legacy.was_reset
+
+
+class TestMachineRegistry:
+    def test_machine_exports_subsystem_stats(self):
+        from repro.factory import make_filesystem
+        from repro.posix import flags as F
+
+        machine, fs = make_filesystem("ext4dax", pm_size=64 * 1024 * 1024)
+        fd = fs.open("/f", F.O_CREAT | F.O_RDWR)
+        fs.write(fd, b"x" * 4096)
+        fs.fsync(fd)
+        out = machine.metrics.collect()
+        assert out["pmem.device.fences"] > 0
+        assert out["journal.jbd2.commits"] >= 0
+        assert "kernel.vm.minor_faults" in out or any(
+            k.startswith("kernel.vm.") for k in out)
+
+    def test_faults_reset_via_consolidated_path(self):
+        from repro.kernel.machine import Machine
+
+        machine = Machine(16 * 1024 * 1024)
+        machine.faults.media_faults_fired = 3
+        machine.faults.reset_counters()
+        assert machine.faults.media_faults_fired == 0
