@@ -175,6 +175,57 @@ def run_suite(repeats: int = 3,
             for spec in (specs if specs is not None else list(WORKLOADS))}
 
 
+def explorer_deep_sweep(nops: int = 200, seed: int = 0,
+                        kind: str = "splitfs-strict", intra: int = 2,
+                        replay_sample: int = 32,
+                        ) -> Dict[str, object]:
+    """Fork-vs-replay deep-sweep speedup (recorded in golden ``extras``).
+
+    Runs a ≥200-op mechanism-pruned sweep in full under the CoW fork
+    engine, then measures the replay engine — the pre-fork reference,
+    which re-runs the workload from scratch per crash state — over a
+    uniform stratified sample of ~``replay_sample`` states of the *same*
+    plan (``stride``).  A replay's cost grows with its trigger depth, so
+    the sample must span the trace; the cheap early prefix alone would
+    understate the replay cost several-fold.
+    """
+    from ..crashmc import explore
+
+    t0 = time.perf_counter()
+    fork = explore(kind, nops=nops, seed=seed, intra=intra, prune=True)
+    fork_wall = time.perf_counter() - t0
+    stride = max(1, fork.states_explored // replay_sample)
+    t0 = time.perf_counter()
+    replay = explore(kind, nops=nops, seed=seed, intra=intra, prune=True,
+                     engine="replay", stride=stride)
+    replay_wall = time.perf_counter() - t0
+    fork_rate = fork.states_explored / fork_wall if fork_wall else 0.0
+    replay_rate = (replay.states_explored / replay_wall
+                   if replay_wall else 0.0)
+    return {
+        "kind": kind,
+        "nops": nops,
+        "seed": seed,
+        "intra": intra,
+        "fork": {
+            "states": fork.states_explored,
+            "pruned": fork.pruned_total,
+            "wall_s": round(fork_wall, 3),
+            "states_per_s": round(fork_rate, 1),
+        },
+        "replay_reference": {
+            "states": replay.states_explored,
+            "stride": stride,
+            "wall_s": round(replay_wall, 3),
+            "states_per_s": round(replay_rate, 1),
+            "note": (f"rate over every {stride}th state of the same plan "
+                     "(uniform sample across the trace)"),
+        },
+        "speedup_states_per_s": (round(fork_rate / replay_rate, 1)
+                                 if replay_rate else None),
+    }
+
+
 def verify_equivalence(repeats: int = 1,
                        specs: Optional[List[WorkloadSpec]] = None,
                        ) -> List[str]:
@@ -199,12 +250,15 @@ def verify_equivalence(repeats: int = 1,
 
 def emit_golden(results: Dict[str, Dict[str, object]],
                 reference: Optional[Dict[str, Dict[str, object]]] = None,
+                extras: Optional[Dict[str, object]] = None,
                 ) -> Dict[str, object]:
     """Build the ``BENCH_wallclock.json`` document.
 
     ``reference`` is the pre-optimization run recorded once when the fast
     paths landed; it is carried forward verbatim so the documented speedup
-    keeps its provenance.
+    keeps its provenance.  ``extras`` holds informational measurements
+    (e.g. the explorer fork-vs-replay deep-sweep speedup) that are never
+    gated on.
     """
     doc: Dict[str, object] = {
         "comment": (
@@ -224,6 +278,8 @@ def emit_golden(results: Dict[str, Dict[str, object]],
                 speedup[name] = round(
                     float(ref["wall_s"]) / float(cur["wall_s"]), 2)
         doc["wall_speedup_vs_reference"] = speedup
+    if extras:
+        doc["extras"] = extras
     return doc
 
 

@@ -104,8 +104,11 @@ def cmd_crashmc(args: argparse.Namespace) -> int:
                          pm_size=pm_size, intra=args.intra,
                          max_states=args.max_states,
                          ras=args.ras or args.media_rate > 0,
-                         media_rate=args.media_rate)
-        print(report.format())
+                         media_rate=args.media_rate,
+                         engine=args.engine, prune=args.prune,
+                         exhaustive=args.exhaustive,
+                         reorder=args.reorder)
+        print(report.format(include_wall=True))
         if report.ok:
             continue
         failed = True
@@ -153,13 +156,17 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         if args.crash:
             crash_reports = run_crash_differential(
                 ops, kinds=kinds, seed=seed, pm_size=pm_size,
-                max_states=args.max_states)
+                max_states=args.max_states, engine=args.crash_engine,
+                prune=args.crash_prune, reorder=args.crash_reorder)
             for kind, crep in crash_reports.items():
                 if crep.ok:
-                    print(f"  crash-differential {kind}: ok")
+                    print(f"  crash-differential {kind}: ok "
+                          f"({crep.states_explored} states"
+                          + (f", {crep.pruned_total} pruned"
+                             if crep.pruned_total else "") + ")")
                 else:
                     failed = True
-                    print(crep.format())
+                    print(crep.format(include_wall=True))
     return 1 if failed else 0
 
 
@@ -198,12 +205,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 results[name]["attribution_residual_ns"] = r.residual_ns
     golden = None
     reference = None
+    extras = None
     if args.check or args.output:
         try:
             golden = wc.load_golden(args.check or args.output)
             reference = golden.get("reference")
+            extras = golden.get("extras")
         except FileNotFoundError:
             golden = None
+    if args.deep_sweep:
+        sweep = wc.explorer_deep_sweep()
+        extras = dict(extras or {})
+        extras["explorer_deep_sweep"] = sweep
+        fk, rp = sweep["fork"], sweep["replay_reference"]
+        print(f"deep-sweep {sweep['kind']} nops={sweep['nops']}: "
+              f"fork {fk['states']} states in {fk['wall_s']}s "
+              f"({fk['states_per_s']}/s, {fk['pruned']} pruned) vs replay "
+              f"{rp['states_per_s']}/s -> {sweep['speedup_states_per_s']}x")
 
     rows = []
     for name, r in results.items():
@@ -230,7 +248,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"check: simulated results match {args.check}")
     if args.output:
-        wc.write_golden(wc.emit_golden(results, reference), args.output)
+        wc.write_golden(wc.emit_golden(results, reference, extras),
+                        args.output)
         print(f"wrote {args.output}")
     return 0
 
@@ -355,6 +374,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="post-crash poison probability per protected cache "
                         "line (implies --ras); oracles then check the "
                         "repaired states")
+    p.add_argument("--engine", default="fork", choices=["fork", "replay"],
+                   help="state construction engine: 'fork' runs the "
+                        "workload once and CoW-forks the machine at each "
+                        "crash point; 'replay' re-runs it per state "
+                        "(reference; bit-identical)")
+    p.add_argument("--prune", action="store_true",
+                   help="mechanism-aware pruning: keep boundary + "
+                        "representative fence states per consistency-"
+                        "mechanism phase (journal/log/CoW) instead of all")
+    p.add_argument("--exhaustive", action="store_true",
+                   help="explore every fence state even with --prune "
+                        "configured elsewhere (escape hatch)")
+    p.add_argument("--reorder", type=int, default=0,
+                   help="per-fence budget of systematic unfenced-line "
+                        "reorder states (exact survivor subsets) on top "
+                        "of the base enumeration")
 
     p = sub.add_parser(
         "fuzz", help="model-based differential fuzzing (repro.difftest)")
@@ -374,6 +409,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "vocabulary and enumerate its crash states")
     p.add_argument("--max-states", type=int, default=None,
                    help="bound crash states per system (with --crash)")
+    p.add_argument("--crash-engine", default="fork",
+                   choices=["fork", "replay"],
+                   help="explorer engine for --crash (default fork)")
+    p.add_argument("--crash-prune", action="store_true",
+                   help="mechanism-aware pruning for --crash sweeps")
+    p.add_argument("--crash-reorder", type=int, default=0,
+                   help="per-fence unfenced-line reorder budget for "
+                        "--crash sweeps")
     p.add_argument("--minimize", action="store_true",
                    help="on divergence, ddmin the sequence and print it")
     p.add_argument("--emit-repro", metavar="PATH",
@@ -396,6 +439,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", metavar="PATH",
                    help="write results (preserving any recorded reference "
                         "block) to PATH")
+    p.add_argument("--deep-sweep", action="store_true",
+                   help="also measure the crashmc fork-vs-replay deep-"
+                        "sweep speedup (200-op pruned sweep; recorded in "
+                        "the golden 'extras' block, informational)")
     p.add_argument("--attribution", action="store_true",
                    help="also run the IO specs under tracing and embed the "
                         "per-layer latency-attribution rows in the results "

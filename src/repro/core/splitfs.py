@@ -17,7 +17,6 @@ The application-visible semantics per mode are in
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -54,7 +53,6 @@ from .oplog import (
 )
 from .staging import Carve, StagingManager, STAGING_DIR
 
-_instance_ids = itertools.count(0)
 
 
 @dataclass
@@ -179,7 +177,12 @@ class SplitFS(FileSystemAPI):
         self.config = config or SplitFSConfig()
         self.process = process or Process()
         self.shm = shm or SharedMemoryStore()
-        self.instance_id = next(_instance_ids)
+        # Instance ids land in on-device staging/oplog file names, so they
+        # must be unique within one device image (a recovered instance must
+        # not collide with the pre-crash instance's leftovers) and — for
+        # replay/fork determinism — a function of the machine's history, not
+        # of how many SplitFS instances this *process* ever created.
+        self.instance_id = self.machine.next_instance_id()
 
         self.files: Dict[int, UFile] = {}  # ino -> UFile
         self.path_cache: Dict[str, int] = {}  # path -> ino

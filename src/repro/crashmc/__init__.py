@@ -12,17 +12,24 @@ CLI subcommand.
 """
 
 from .explorer import ExplorationReport, Violation, explore, record_trace
+from .mechanism import (MechanismProbe, PruneStats, mechanism_summary,
+                        plan_pruned_fences)
 from .minimize import emit_reproducer, minimize
 from .oracles import KIND_PROPS, KindProps, check_state
 from .systems import fresh, remount
 from .trace import CrashTrigger, CrashTriggered, PersistenceTracer, Trace
-from .workload import Op, Shadow, generate_workload, run_workload
+from .workload import Op, OpCursor, Shadow, generate_workload, run_workload
 
 __all__ = [
     "ExplorationReport",
     "Violation",
     "explore",
     "record_trace",
+    "MechanismProbe",
+    "PruneStats",
+    "mechanism_summary",
+    "plan_pruned_fences",
+    "OpCursor",
     "minimize",
     "emit_reproducer",
     "KIND_PROPS",

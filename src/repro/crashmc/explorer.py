@@ -1,35 +1,63 @@
 """Systematic crash-state enumeration.
 
-The explorer runs a workload three ways:
+The explorer knows two engines:
 
-1. **Record** — one crash-free pass with a
-   :class:`~repro.crashmc.trace.PersistenceTracer` attached, yielding the
-   fence/epoch structure (how many crash points exist).
-2. **Enumerate** — for every fence ``k`` the workload is replayed on a
-   fresh machine with a :class:`~repro.crashmc.trace.CrashTrigger` that
-   stops the world just before fence ``k`` drains.  A deterministic crash
-   (drop all unpersisted lines) is applied, the file system is remounted
-   through its own recovery path, and the per-kind oracle checks the state.
-3. **Sample** (``intra > 0``) — additionally, intra-epoch states: crash
-   just before a chosen store, under a seeded probabilistic policy where
-   unfenced lines may survive and tear at 8-byte granularity.
+``fork`` (default)
+    The workload runs **once**.  A recording pass yields the fence/epoch
+    structure (plus each epoch's consistency mechanism, inferred from span
+    structure by :mod:`repro.crashmc.mechanism`); a harvest pass then runs
+    the workload again with an observer that, at every planned persistence
+    event, forks the whole machine copy-on-write
+    (:meth:`~repro.kernel.machine.Machine.fork`), crashes the child, and
+    remounts/checks it inline while the parent stays paused inside the
+    event hook.  Cost per state is the recovery under test, not a replay
+    of the op prefix — the asymptotic win that makes deep sweeps feasible.
 
-Everything is pure in ``(kind, ops/seed, pm_size, intra)``: two runs with
-the same inputs explore bit-for-bit identical states and produce identical
-reports.
+``replay`` (reference)
+    The original engine: for every crash state the workload is replayed on
+    a fresh machine with a :class:`~repro.crashmc.trace.CrashTrigger` that
+    stops the world at the chosen event.  Kept verbatim as the reference
+    implementation; ``tests/crashmc/test_fork_equivalence.py`` asserts the
+    forked crash state is bit-identical to the replayed one at every fence
+    for every kind.
+
+Three state families are enumerated, in one canonical temporal order
+(identical across engines):
+
+* **fence states** — crash just before fence ``k`` drains; epochs
+  ``0..k-2`` durable, epoch ``k-1`` in flight.  ``prune=True`` reduces
+  these to mechanism-phase representatives and boundaries (see
+  :func:`~repro.crashmc.mechanism.plan_pruned_fences`); ``exhaustive``
+  overrides pruning.
+* **reorder states** (``reorder > 0``) — at each explored fence, up to
+  ``reorder`` chosen subsets of the unfenced lines survive exactly
+  (deterministic eviction reordering via
+  :meth:`~repro.pmem.cache.PersistenceDomain.crash_with_survivors`).
+* **intra-epoch states** (``intra > 0``) — sampled crashes just before a
+  chosen store, under a seeded probabilistic policy with tearing.
+
+Everything is pure in ``(kind, ops/seed, pm_size, intra, prune, reorder,
+engine)``: two runs with the same inputs explore bit-for-bit identical
+states and produce identical reports (wall time is excluded from
+:meth:`ExplorationReport.format` unless asked for).
 """
 
 from __future__ import annotations
 
 import random
+import time
+import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..pmem.cache import CrashPolicy
+from ..pmem.cow import CowStats
+from .mechanism import (MechanismProbe, PruneStats, mechanism_summary,
+                        plan_pruned_fences)
 from .oracles import KIND_PROPS, check_state
 from .systems import fresh, remount
 from .trace import CrashTrigger, PersistenceTracer, Trace
-from .workload import Op, Shadow, generate_workload, run_workload
+from .workload import Op, OpCursor, Shadow, generate_workload, run_workload
 
 DEFAULT_PM_SIZE = 96 * 1024 * 1024
 
@@ -64,19 +92,78 @@ class ExplorationReport:
     #: counters across all explored states (deterministic in the inputs, so
     #: CI can diff them between runs).
     ras_totals: Optional[dict] = None
+    #: which engine enumerated the states ("fork" or "replay")
+    engine: str = "fork"
+    prune: bool = False
+    reorder: int = 0
+    #: >1 when the plan was stratified-sampled (every Nth crash point)
+    stride: int = 1
+    #: fence states the trace offers before pruning
+    candidate_fence_states: int = 0
+    #: fence states dropped by mechanism-aware pruning, per mechanism
+    pruned_states: Dict[str, int] = field(default_factory=dict)
+    #: epochs per consistency mechanism (from the recording pass)
+    mechanisms: Dict[str, int] = field(default_factory=dict)
+    #: planned crash points skipped by the ``max_states`` budget
+    skipped_states: int = 0
+    #: planned crash points whose persistence event never fired
+    skipped_triggers: int = 0
+    #: wall-clock seconds spent enumerating (excluded from format() by
+    #: default so identical-input reports stay byte-identical)
+    elapsed_wall_s: float = 0.0
+    #: CoW fork counters (fork engine only)
+    cow: Optional[CowStats] = None
+    #: pruning counters (also registered as the ``crashmc.prune`` metrics
+    #: source on the harvest machine)
+    prune_counters: Optional[PruneStats] = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
-    def format(self) -> str:
+    @property
+    def pruned_total(self) -> int:
+        return sum(self.pruned_states.values())
+
+    def format(self, include_wall: bool = False) -> str:
         lines = [
-            f"crashmc: {self.kind}  seed={self.seed}  ops={len(self.ops)}",
+            f"crashmc: {self.kind}  seed={self.seed}  ops={len(self.ops)}"
+            f"  engine={self.engine}",
             f"  trace: {self.trace.fences} fences, {self.trace.stores} stores, "
             f"{self.trace.clwbs} clwb lines",
-            f"  states explored: {self.states_explored}",
-            f"  violations found: {len(self.violations)}",
         ]
+        if self.mechanisms:
+            lines.append("  mechanisms: " + " ".join(
+                f"{m}={n}" for m, n in self.mechanisms.items()))
+        lines.append(f"  states explored: {self.states_explored}")
+        if self.prune:
+            kept = self.candidate_fence_states - self.pruned_total
+            ratio = (kept / self.candidate_fence_states
+                     if self.candidate_fence_states else 1.0)
+            detail = " ".join(f"{m}={n}" for m, n in sorted(
+                self.pruned_states.items()))
+            lines.append(
+                f"  pruning: kept {kept} of {self.candidate_fence_states} "
+                f"fence states (pruned {self.pruned_total}"
+                + (f": {detail}" if detail else "")
+                + f"); keep ratio {ratio:.2f}")
+        if self.stride > 1:
+            lines.append(f"  sampled: every {self.stride}th planned "
+                         f"crash point (stride)")
+        if self.cow is not None and self.cow.forks:
+            c = self.cow
+            lines.append(
+                f"  fork: {c.forks} forks, {c.cow_copies} segment copies, "
+                f"{c.cow_bytes_copied} B copied, {c.bytes_shared} B shared")
+        if self.skipped_states:
+            lines.append(
+                f"  truncated: {self.skipped_states} planned crash point(s) "
+                f"skipped by the max-states budget")
+        if self.skipped_triggers:
+            lines.append(
+                f"  skipped triggers: {self.skipped_triggers} planned crash "
+                f"point(s) never fired")
+        lines.append(f"  violations found: {len(self.violations)}")
         if self.ras_totals is not None:
             t = self.ras_totals
             lines.append(
@@ -85,149 +172,145 @@ class ExplorationReport:
                 .format(**t))
         for v in self.violations:
             lines.append(f"  VIOLATION {v.describe()}")
+        if include_wall:
+            lines.append(f"  wall: {self.elapsed_wall_s:.2f}s")
         return "\n".join(lines)
 
 
-def _replay_until(kind: str, ops: List[Op], pm_size: int, seed: int,
-                  trigger: CrashTrigger, ras: bool = False):
-    """Run the workload on a fresh machine until ``trigger`` fires.
-
-    Returns ``(machine, shadow, outcome)`` with the observer detached and
-    the PM state frozen at the trigger instant (or at workload end if the
-    trigger never fired).
-    """
-    machine, fs = fresh(kind, pm_size, seed=seed, ras=ras)
-    shadow = Shadow(KIND_PROPS[kind])
-    machine.pm.attach_observer(trigger)
-    try:
-        outcome = run_workload(fs, shadow, ops)
-    finally:
-        machine.pm.detach_observer()
-    return machine, shadow, outcome
+# -- plan -------------------------------------------------------------------
 
 
-def record_trace(kind: str, ops: List[Op], pm_size: int = DEFAULT_PM_SIZE,
-                 seed: int = 0, ras: bool = False) -> Trace:
-    """One crash-free pass; returns the workload's persistence trace."""
-    machine, fs = fresh(kind, pm_size, seed=seed, ras=ras)
-    tracer = PersistenceTracer()
-    shadow = Shadow(KIND_PROPS[kind])
-    machine.pm.attach_observer(tracer)
-    try:
-        outcome = run_workload(fs, shadow, ops)
-    finally:
-        machine.pm.detach_observer()
-    assert not outcome.crashed
-    return tracer.trace
+@dataclass(frozen=True)
+class _PlanItem:
+    """One planned crash point, in canonical temporal order."""
+
+    epoch: int  # temporal position: fires within / at the end of this epoch
+    fence: Optional[int] = None  # fence event (1-based), or ...
+    store: Optional[int] = None  # ... intra-epoch store event (0-based)
+    policy_seed: Optional[int] = None
 
 
-def explore(
-    kind: str,
-    ops: Optional[List[Op]] = None,
-    nops: int = 12,
-    seed: int = 0,
-    pm_size: int = DEFAULT_PM_SIZE,
-    intra: int = 0,
-    max_states: Optional[int] = None,
-    ras: bool = False,
-    media_rate: float = 0.0,
-) -> ExplorationReport:
-    """Enumerate and check crash states of one workload on one kind.
+@dataclass
+class _Plan:
+    items: List[_PlanItem]
+    kept_fences: Set[int]
+    pruned: Dict[str, int]
+    #: (epoch, store) -> policy seeds, in draw order (fork-engine lookup)
+    intra_by_event: Dict[Tuple[int, int], List[int]]
 
-    ``intra`` adds that many sampled intra-epoch states (with survival and
-    tearing of unfenced lines) on top of the exhaustive fence-boundary
-    enumeration.  ``max_states`` bounds total states for smoke runs.
 
-    ``ras=True`` runs every replay with the RAS layer enabled;
-    ``media_rate`` additionally scatters seeded-random poison over the
-    RAS-protected metadata regions *after* each crash, so the remount path
-    must detect and repair latent media errors — the oracles then check
-    the *repaired* state.  (Poison is restricted to protected regions:
-    unprotected poison is legitimately unrecoverable and would report EIO
-    mount failures that are not crash-consistency bugs.)
-    """
-    if kind not in KIND_PROPS:
-        raise ValueError(f"unknown file-system kind {kind!r}")
-    if media_rate and not ras:
-        raise ValueError("media_rate requires ras=True")
-    if ops is None:
-        ops = generate_workload(seed, nops)
-    report = ExplorationReport(kind=kind, seed=seed, ops=list(ops))
-    report.trace = record_trace(kind, ops, pm_size, seed, ras=ras)
-    if ras:
-        report.ras_totals = {"detected": 0, "repaired": 0,
-                             "unrecoverable": 0, "poisoned_lines": 0}
-
-    # -- exhaustive fence-boundary states ---------------------------------
-    fence_indices = range(1, report.trace.fences + 1)
-    for k in fence_indices:
-        if max_states is not None and report.states_explored >= max_states:
-            break
-        trigger = CrashTrigger(fence_index=k)
-        _explore_one(report, kind, ops, pm_size, seed, trigger,
-                     state=f"fence {k}", policy=CrashPolicy(),
-                     ras=ras, media_rate=media_rate)
-
-    # -- sampled intra-epoch states ---------------------------------------
+def _build_plan(trace: Trace, intra: int, seed: int, prune: bool) -> _Plan:
+    """Choose crash points and order them temporally (engine-independent)."""
+    if prune and trace.epoch_mechanisms:
+        kept, pruned = plan_pruned_fences(trace.epoch_mechanisms, trace.fences)
+    else:
+        kept, pruned = set(range(1, trace.fences + 1)), {}
+    # Intra-epoch draws replicate the original sampling stream exactly.
     rng = random.Random(seed ^ 0x5EED)
-    nonempty = [
-        (e, count)
-        for e, count in enumerate(report.trace.stores_per_epoch)
-        if count > 0
-    ]
+    nonempty = [(e, count) for e, count in enumerate(trace.stores_per_epoch)
+                if count > 0]
+    draws: List[Tuple[int, int, int]] = []
     for _ in range(intra if nonempty else 0):
-        if max_states is not None and report.states_explored >= max_states:
-            break
         epoch, count = nonempty[rng.randrange(len(nonempty))]
-        store = rng.randrange(count)
-        policy_seed = rng.getrandbits(32)
-        policy = CrashPolicy(
-            survive_probability=0.5,
-            pending_survive_probability=0.5,
-            tear_lines=True,
-            seed=policy_seed,
-        )
-        trigger = CrashTrigger(epoch=epoch, store_index=store)
-        _explore_one(
-            report, kind, ops, pm_size, seed, trigger,
-            state=f"epoch {epoch} store {store} (policy seed {policy_seed})",
-            policy=policy, ras=ras, media_rate=media_rate,
-        )
-    return report
+        draws.append((epoch, rng.randrange(count), rng.getrandbits(32)))
+    intra_by_event: Dict[Tuple[int, int], List[int]] = {}
+    for epoch, store, ps in draws:
+        intra_by_event.setdefault((epoch, store), []).append(ps)
+    items: List[_PlanItem] = []
+    per_epoch: Dict[int, List[Tuple[int, int]]] = {}
+    for epoch, store, ps in draws:
+        per_epoch.setdefault(epoch, []).append((store, ps))
+    for epoch in range(len(trace.stores_per_epoch)):
+        # Stable sort: same-store duplicates stay in draw order, matching
+        # the harvest pass where they are explored back-to-back.
+        for store, ps in sorted(per_epoch.get(epoch, ()), key=lambda t: t[0]):
+            items.append(_PlanItem(epoch=epoch, store=store, policy_seed=ps))
+        k = epoch + 1
+        if k <= trace.fences and k in kept:
+            items.append(_PlanItem(epoch=epoch, fence=k))
+    return _Plan(items=items, kept_fences=kept, pruned=pruned,
+                 intra_by_event=intra_by_event)
 
 
-def _explore_one(
+def _sample_plan(plan: _Plan, stride: int) -> _Plan:
+    """Keep every ``stride``-th planned crash point (stratified sampling).
+
+    The retained points are spread uniformly across the trace rather than
+    clustered at its cheap beginning — the property the bench harness
+    needs for an unbiased fork-vs-replay cost comparison, since a replay's
+    cost grows with its trigger depth.  Both engines honour the sampled
+    plan identically.
+    """
+    items = plan.items[::stride]
+    kept_fences = {it.fence for it in items if it.fence is not None}
+    intra_by_event: Dict[Tuple[int, int], List[int]] = {}
+    for it in items:
+        if it.store is not None:
+            intra_by_event.setdefault((it.epoch, it.store),
+                                      []).append(it.policy_seed)
+    return _Plan(items=items, kept_fences=kept_fences, pruned=plan.pruned,
+                 intra_by_event=intra_by_event)
+
+
+def _reorder_subsets(lines: List[int], budget: int) -> List[List[int]]:
+    """Deterministic survivor subsets for one fence state, capped at budget.
+
+    The base fence state (nothing survives) is explored separately, so the
+    empty subset is excluded.  When the full power set fits the budget it
+    is enumerated outright (binary counting over the sorted lines);
+    otherwise a structured prefix — all lines survive, each line alone
+    survives, each line alone lost — probes single-line reorderings from
+    both ends.
+    """
+    n = len(lines)
+    if n == 0 or budget <= 0:
+        return []
+    if n <= 16 and (1 << n) - 1 <= budget:
+        return [[lines[i] for i in range(n) if mask >> i & 1]
+                for mask in range(1, 1 << n)]
+    out: List[List[int]] = [list(lines)]
+    seen = {tuple(lines)}
+    for i in range(n):
+        for sub in ([lines[i]], lines[:i] + lines[i + 1:]):
+            key = tuple(sub)
+            if sub and key not in seen:
+                seen.add(key)
+                out.append(sub)
+    return out[:budget]
+
+
+# -- shared state examination ----------------------------------------------
+
+
+def _examine(
     report: ExplorationReport,
     kind: str,
-    ops: List[Op],
-    pm_size: int,
-    seed: int,
-    trigger: CrashTrigger,
+    machine,
+    shadow: Shadow,
+    inflight: Optional[Op],
     state: str,
-    policy: CrashPolicy,
-    ras: bool = False,
-    media_rate: float = 0.0,
+    seed: int,
+    media_rate: float,
+    state_hook: Optional[Callable[[str, object], None]],
 ) -> None:
-    machine, shadow, outcome = _replay_until(kind, ops, pm_size, seed, trigger,
-                                             ras=ras)
-    if not outcome.crashed:
-        # The trigger never fired (fence index past the end) — skip.
-        return
+    """Check one crashed machine (already crashed) against the oracle."""
     report.states_explored += 1
-    inflight = ops[outcome.inflight] if outcome.inflight is not None else None
-    machine.crash(policy)
-    # Counters accumulated during the workload replay belong to that run,
-    # not to the recovery under test: reset them so per-state repair ledgers
-    # (and the summed RAS totals CI diffs) measure recovery alone.
+    # Counters accumulated reaching the crash point belong to that run,
+    # not to the recovery under test: reset them so per-state repair
+    # ledgers (and the summed RAS totals CI diffs) measure recovery alone.
     machine.faults.reset_counters()
     if media_rate and machine.ras is not None:
-        poison_seed = (seed * 1_000_003) ^ report.states_explored
+        # Seeded off the state *label* (not exploration order) so pruned
+        # and exhaustive sweeps poison any shared state identically.
+        poison_seed = (seed * 1_000_003) ^ zlib.crc32(state.encode())
         poisoned = 0
         for start, end in machine.ras.primary_ranges():
             poisoned += machine.faults.poison_rate(
                 media_rate, seed=poison_seed ^ start, region=(start, end))
         if report.ras_totals is not None:
             report.ras_totals["poisoned_lines"] += poisoned
+    if state_hook is not None:
+        state_hook(state, machine)
     try:
         try:
             fs_after = remount(machine, kind)
@@ -253,3 +336,347 @@ def _explore_one(
             report.ras_totals["detected"] += st.detected
             report.ras_totals["repaired"] += st.repaired
             report.ras_totals["unrecoverable"] += st.unrecoverable
+
+
+def _budget_left(report: ExplorationReport, max_states: Optional[int]) -> bool:
+    return max_states is None or report.states_explored < max_states
+
+
+# -- recording --------------------------------------------------------------
+
+
+def _replay_until(kind: str, ops: List[Op], pm_size: int, seed: int,
+                  trigger: CrashTrigger, ras: bool = False):
+    """Run the workload on a fresh machine until ``trigger`` fires.
+
+    Returns ``(machine, shadow, outcome)`` with the observer detached and
+    the PM state frozen at the trigger instant (or at workload end if the
+    trigger never fired).
+    """
+    machine, fs = fresh(kind, pm_size, seed=seed, ras=ras)
+    shadow = Shadow(KIND_PROPS[kind])
+    machine.pm.attach_observer(trigger)
+    try:
+        outcome = run_workload(fs, shadow, ops)
+    finally:
+        machine.pm.detach_observer()
+    return machine, shadow, outcome
+
+
+def record_trace(kind: str, ops: List[Op], pm_size: int = DEFAULT_PM_SIZE,
+                 seed: int = 0, ras: bool = False) -> Trace:
+    """One crash-free pass; returns the workload's persistence trace.
+
+    A :class:`~repro.crashmc.mechanism.MechanismProbe` rides along on the
+    clock so every epoch comes back tagged with its consistency mechanism
+    (``trace.epoch_mechanisms``); the probe charges nothing, so the run is
+    simulated-time identical to an unobserved one.
+    """
+    machine, fs = fresh(kind, pm_size, seed=seed, ras=ras)
+    probe = MechanismProbe()
+    probe.bind(machine.clock)
+    tracer = PersistenceTracer(probe)
+    shadow = Shadow(KIND_PROPS[kind])
+    machine.pm.attach_observer(tracer)
+    try:
+        outcome = run_workload(fs, shadow, ops)
+    finally:
+        machine.pm.detach_observer()
+    assert not outcome.crashed
+    return tracer.trace
+
+
+# -- fork engine ------------------------------------------------------------
+
+
+class _ForkHarvester:
+    """Domain observer that forks and crash-tests at planned events.
+
+    Attached during the single harvest pass.  Domain hooks fire *before*
+    the store/fence mutates, so a machine forked inside the hook is frozen
+    at exactly the state a :class:`~repro.crashmc.trace.CrashTrigger`
+    raise would leave.  The forked child carries no observers, so its own
+    remount/recovery traffic does not re-enter this harvester; the parent
+    is paused (single-threaded) until the child is fully examined — the
+    CoW pause discipline of :mod:`repro.pmem.cow`.
+    """
+
+    def __init__(self, engine: "_ForkEngine") -> None:
+        self.engine = engine
+        self.fences_seen = 0
+        self.stores_this_epoch = 0
+
+    def on_store(self, addr: int, size: int, nontemporal: bool) -> None:
+        key = (self.fences_seen, self.stores_this_epoch)
+        seeds = self.engine.plan.intra_by_event.get(key)
+        if seeds:
+            for ps in seeds:
+                self.engine.harvest_intra(key[0], key[1], ps)
+            self.engine.visited.add(key)
+        self.stores_this_epoch += 1
+
+    def on_clwb(self, addr: int, size: int) -> None:
+        pass
+
+    def on_fence(self) -> None:
+        k = self.fences_seen + 1
+        if k in self.engine.plan.kept_fences:
+            self.engine.harvest_fence(k)
+            self.engine.visited.add(k)
+        self.fences_seen += 1
+        self.stores_this_epoch = 0
+
+
+class _ForkEngine:
+    """Single-pass exploration: run once, fork at every planned event."""
+
+    def __init__(self, report: ExplorationReport, ops: List[Op],
+                 pm_size: int, seed: int, plan: _Plan, ras: bool,
+                 media_rate: float, reorder: int,
+                 max_states: Optional[int],
+                 state_hook: Optional[Callable]) -> None:
+        self.report = report
+        self.ops = ops
+        self.pm_size = pm_size
+        self.seed = seed
+        self.plan = plan
+        self.ras = ras
+        self.media_rate = media_rate
+        self.reorder = reorder
+        self.max_states = max_states
+        self.state_hook = state_hook
+        self.cow = CowStats()
+        report.cow = self.cow
+        self.prune_stats = report.prune_counters
+        #: plan keys ((epoch, store) or fence index) whose event fired
+        self.visited: Set[object] = set()
+        self.machine = None
+        self.shadow: Optional[Shadow] = None
+        self.cursor = OpCursor()
+
+    def run(self) -> None:
+        machine, fs = fresh(self.report.kind, self.pm_size, seed=self.seed,
+                            ras=self.ras)
+        self.machine = machine
+        self.shadow = Shadow(KIND_PROPS[self.report.kind])
+        machine.metrics.register_source("crashmc.fork", self.cow)
+        if self.prune_stats is not None:
+            machine.metrics.register_source("crashmc.prune", self.prune_stats)
+        harvester = _ForkHarvester(self)
+        machine.pm.attach_observer(harvester)
+        try:
+            outcome = run_workload(fs, self.shadow, self.ops,
+                                   cursor=self.cursor)
+        finally:
+            machine.pm.detach_observer()
+        assert not outcome.crashed
+        # Defensive: a nondeterministic workload would desynchronise the
+        # harvest pass from the recorded trace — surface, don't miscount.
+        for item in self.plan.items:
+            key = item.fence if item.fence is not None else (item.epoch,
+                                                            item.store)
+            if key not in self.visited:
+                self.report.skipped_triggers += 1
+
+    # -- per-event harvesting ---------------------------------------------
+
+    def _inflight(self) -> Optional[Op]:
+        idx = self.cursor.index
+        return self.ops[idx] if idx is not None else None
+
+    def _examine_child(self, machine, state: str) -> None:
+        _examine(self.report, self.report.kind, machine, self.shadow,
+                 self._inflight(), state, self.seed, self.media_rate,
+                 self.state_hook)
+
+    def harvest_fence(self, k: int) -> None:
+        report = self.report
+        if not _budget_left(report, self.max_states):
+            report.skipped_states += 1
+            return
+        parent = self.machine
+        dirty = sorted(parent.pm.domain.dirty_lines()) if self.reorder else []
+        child = parent.fork(cow_stats=self.cow)
+        child.crash(CrashPolicy())
+        self._examine_child(child, f"fence {k}")
+        if self.reorder:
+            subsets = _reorder_subsets(dirty, self.reorder)
+            total = len(subsets)
+            for i, sub in enumerate(subsets):
+                if not _budget_left(report, self.max_states):
+                    break
+                child = parent.fork(cow_stats=self.cow)
+                child.crash(survivors=set(sub))
+                self._examine_child(
+                    child,
+                    f"fence {k} reorder {i + 1}/{total} "
+                    f"({len(sub)}/{len(dirty)} lines survive)")
+
+    def harvest_intra(self, epoch: int, store: int, policy_seed: int) -> None:
+        report = self.report
+        if not _budget_left(report, self.max_states):
+            report.skipped_states += 1
+            return
+        child = self.machine.fork(cow_stats=self.cow)
+        child.crash(CrashPolicy(
+            survive_probability=0.5,
+            pending_survive_probability=0.5,
+            tear_lines=True,
+            seed=policy_seed,
+        ))
+        self._examine_child(
+            child, f"epoch {epoch} store {store} (policy seed {policy_seed})")
+
+
+# -- replay engine (reference) ---------------------------------------------
+
+
+def _run_replay(report: ExplorationReport, ops: List[Op], pm_size: int,
+                seed: int, plan: _Plan, ras: bool, media_rate: float,
+                reorder: int, max_states: Optional[int],
+                state_hook: Optional[Callable]) -> None:
+    kind = report.kind
+    for item in plan.items:
+        if not _budget_left(report, max_states):
+            report.skipped_states += 1
+            continue
+        if item.fence is not None:
+            trigger = CrashTrigger(fence_index=item.fence)
+            machine, shadow, outcome = _replay_until(
+                kind, ops, pm_size, seed, trigger, ras=ras)
+            if not outcome.crashed:
+                report.skipped_triggers += 1
+                continue
+            inflight = (ops[outcome.inflight]
+                        if outcome.inflight is not None else None)
+            dirty = sorted(machine.pm.domain.dirty_lines()) if reorder else []
+            machine.crash(CrashPolicy())
+            _examine(report, kind, machine, shadow, inflight,
+                     f"fence {item.fence}", seed, media_rate, state_hook)
+            if reorder:
+                subsets = _reorder_subsets(dirty, reorder)
+                total = len(subsets)
+                for i, sub in enumerate(subsets):
+                    if not _budget_left(report, max_states):
+                        break
+                    m2, s2, o2 = _replay_until(
+                        kind, ops, pm_size, seed,
+                        CrashTrigger(fence_index=item.fence), ras=ras)
+                    if not o2.crashed:  # pragma: no cover - deterministic
+                        report.skipped_triggers += 1
+                        break
+                    inflight2 = (ops[o2.inflight]
+                                 if o2.inflight is not None else None)
+                    m2.crash(survivors=set(sub))
+                    _examine(report, kind, m2, s2, inflight2,
+                             f"fence {item.fence} reorder {i + 1}/{total} "
+                             f"({len(sub)}/{len(dirty)} lines survive)",
+                             seed, media_rate, state_hook)
+        else:
+            trigger = CrashTrigger(epoch=item.epoch, store_index=item.store)
+            machine, shadow, outcome = _replay_until(
+                kind, ops, pm_size, seed, trigger, ras=ras)
+            if not outcome.crashed:
+                report.skipped_triggers += 1
+                continue
+            inflight = (ops[outcome.inflight]
+                        if outcome.inflight is not None else None)
+            machine.crash(CrashPolicy(
+                survive_probability=0.5,
+                pending_survive_probability=0.5,
+                tear_lines=True,
+                seed=item.policy_seed,
+            ))
+            _examine(report, kind, machine, shadow, inflight,
+                     f"epoch {item.epoch} store {item.store} "
+                     f"(policy seed {item.policy_seed})",
+                     seed, media_rate, state_hook)
+
+
+# -- entry point ------------------------------------------------------------
+
+
+def explore(
+    kind: str,
+    ops: Optional[List[Op]] = None,
+    nops: int = 12,
+    seed: int = 0,
+    pm_size: int = DEFAULT_PM_SIZE,
+    intra: int = 0,
+    max_states: Optional[int] = None,
+    ras: bool = False,
+    media_rate: float = 0.0,
+    engine: str = "fork",
+    prune: bool = False,
+    exhaustive: bool = False,
+    reorder: int = 0,
+    stride: int = 1,
+    state_hook: Optional[Callable[[str, object], None]] = None,
+    prune_stats: Optional[PruneStats] = None,
+) -> ExplorationReport:
+    """Enumerate and check crash states of one workload on one kind.
+
+    ``intra`` adds that many sampled intra-epoch states (with survival and
+    tearing of unfenced lines) on top of the fence-boundary enumeration,
+    and ``reorder`` adds up to that many deterministic survivor subsets of
+    the unfenced lines at every explored fence.  ``max_states`` bounds
+    total states for smoke runs (the report counts what was skipped).
+
+    ``prune=True`` restricts fence states to mechanism-phase boundaries
+    plus one representative per phase (see :mod:`repro.crashmc.mechanism`);
+    ``exhaustive=True`` is the escape hatch that forces full enumeration.
+    ``engine`` selects the CoW fork engine (default) or the replay
+    reference engine; both explore identical states in identical order.
+    ``stride=N`` keeps every ``N``-th planned crash point — uniform
+    stratified sampling across the trace (used by the bench harness to
+    cost-sample the replay reference without replaying every state).
+
+    ``ras=True`` runs every state with the RAS layer enabled;
+    ``media_rate`` additionally scatters seeded-random poison over the
+    RAS-protected metadata regions *after* each crash, so the remount path
+    must detect and repair latent media errors — the oracles then check
+    the *repaired* state.  (Poison is restricted to protected regions:
+    unprotected poison is legitimately unrecoverable and would report EIO
+    mount failures that are not crash-consistency bugs.)
+
+    ``state_hook(label, machine)`` fires on every crashed (not yet
+    remounted) state — the equivalence tests digest device bytes there.
+    """
+    if kind not in KIND_PROPS:
+        raise ValueError(f"unknown file-system kind {kind!r}")
+    if media_rate and not ras:
+        raise ValueError("media_rate requires ras=True")
+    if engine not in ("fork", "replay"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    if exhaustive:
+        prune = False
+    if ops is None:
+        ops = generate_workload(seed, nops)
+    report = ExplorationReport(kind=kind, seed=seed, ops=list(ops),
+                               engine=engine, prune=prune, reorder=reorder)
+    report.trace = record_trace(kind, ops, pm_size, seed, ras=ras)
+    report.mechanisms = mechanism_summary(report.trace.epoch_mechanisms)
+    report.candidate_fence_states = report.trace.fences
+    if ras:
+        report.ras_totals = {"detected": 0, "repaired": 0,
+                             "unrecoverable": 0, "poisoned_lines": 0}
+    t0 = time.perf_counter()
+    plan = _build_plan(report.trace, intra=intra, seed=seed, prune=prune)
+    if stride > 1:
+        plan = _sample_plan(plan, stride)
+        report.stride = stride
+    report.pruned_states = dict(plan.pruned)
+    report.prune_counters = prune_stats if prune_stats is not None else PruneStats()
+    report.prune_counters.record(report.candidate_fence_states,
+                                 len(plan.kept_fences), plan.pruned)
+    if engine == "fork":
+        fe = _ForkEngine(report, ops, pm_size, seed, plan, ras, media_rate,
+                         reorder, max_states, state_hook)
+        fe.run()
+    else:
+        _run_replay(report, ops, pm_size, seed, plan, ras, media_rate,
+                    reorder, max_states, state_hook)
+    report.elapsed_wall_s = time.perf_counter() - t0
+    return report

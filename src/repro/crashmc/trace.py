@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .mechanism import MechanismProbe, merge_mechanism
+
 
 class CrashTriggered(BaseException):
     """Raised by :class:`CrashTrigger` at the chosen persistence event.
@@ -46,17 +48,32 @@ class Trace:
     #: for the epoch *ending at* fence ``e`` (0-based); the final entry is
     #: the possibly-open epoch after the last fence.
     stores_per_epoch: List[int] = field(default_factory=list)
+    #: consistency mechanism of each epoch (parallel to ``stores_per_epoch``),
+    #: inferred from span structure by :class:`~repro.crashmc.mechanism.
+    #: MechanismProbe`; ``"none"`` for epochs with no stores.
+    epoch_mechanisms: List[str] = field(default_factory=list)
 
 
 class PersistenceTracer:
-    """Records fence/epoch structure during a full (crash-free) run."""
+    """Records fence/epoch structure during a full (crash-free) run.
 
-    def __init__(self) -> None:
-        self.trace = Trace(stores_per_epoch=[0])
+    When ``probe`` (a :class:`~repro.crashmc.mechanism.MechanismProbe` bound
+    to the machine's clock) is supplied, each epoch is additionally tagged
+    with the consistency mechanism of the spans its stores were issued
+    under.
+    """
+
+    def __init__(self, probe: Optional[MechanismProbe] = None) -> None:
+        self.trace = Trace(stores_per_epoch=[0], epoch_mechanisms=["none"])
+        self._probe = probe
 
     def on_store(self, addr: int, size: int, nontemporal: bool) -> None:
-        self.trace.stores += 1
-        self.trace.stores_per_epoch[-1] += 1
+        trace = self.trace
+        trace.stores += 1
+        trace.stores_per_epoch[-1] += 1
+        if self._probe is not None:
+            trace.epoch_mechanisms[-1] = merge_mechanism(
+                trace.epoch_mechanisms[-1], self._probe.current_mechanism())
 
     def on_clwb(self, addr: int, size: int) -> None:
         self.trace.clwbs += 1
@@ -64,6 +81,7 @@ class PersistenceTracer:
     def on_fence(self) -> None:
         self.trace.fences += 1
         self.trace.stores_per_epoch.append(0)
+        self.trace.epoch_mechanisms.append("none")
 
 
 class CrashTrigger:
@@ -74,6 +92,13 @@ class CrashTrigger:
     still in flight.  ``epoch``/``store_index`` instead fire just before the
     (0-based) ``store_index``-th store of the (0-based) ``epoch``-th epoch,
     for intra-epoch states.
+
+    The trigger is *sticky*: once fired, every subsequent persistence event
+    re-raises.  Exception-unwind code (e.g. a journal commit in a
+    ``finally`` block) would otherwise keep writing to the device after the
+    crash instant, breaking the contract that the caught machine state is
+    exactly the state at the triggering event — the property the CoW fork
+    engine relies on for replay/fork equivalence.
     """
 
     def __init__(
@@ -92,25 +117,31 @@ class CrashTrigger:
         self.fences_seen = 0
         self.stores_this_epoch = 0
         self.fired = False
+        self._where = ""
 
     def on_store(self, addr: int, size: int, nontemporal: bool) -> None:
+        if self.fired:
+            raise CrashTriggered(f"store after {self._where}")
         if (
             self.epoch is not None
             and self.fences_seen == self.epoch
             and self.stores_this_epoch == self.store_index
         ):
             self.fired = True
-            raise CrashTriggered(
-                f"store {self.store_index} of epoch {self.epoch}"
-            )
+            self._where = f"store {self.store_index} of epoch {self.epoch}"
+            raise CrashTriggered(self._where)
         self.stores_this_epoch += 1
 
     def on_clwb(self, addr: int, size: int) -> None:
-        pass
+        if self.fired:
+            raise CrashTriggered(f"clwb after {self._where}")
 
     def on_fence(self) -> None:
+        if self.fired:
+            raise CrashTriggered(f"fence after {self._where}")
         if self.fence_index is not None and self.fences_seen + 1 == self.fence_index:
             self.fired = True
-            raise CrashTriggered(f"fence {self.fence_index}")
+            self._where = f"fence {self.fence_index}"
+            raise CrashTriggered(self._where)
         self.fences_seen += 1
         self.stores_this_epoch = 0

@@ -165,8 +165,23 @@ class RunOutcome:
     crashed: bool
 
 
+class OpCursor:
+    """Live position of a workload run: the op index currently being applied.
+
+    The fork-engine explorer pauses the run *inside* persistence-event
+    hooks (mid-syscall); the cursor tells it which op is in flight at that
+    instant — ``None`` during setup (file creation) and after completion.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self) -> None:
+        self.index: Optional[int] = None
+
+
 def run_workload(fs, shadow: Shadow, ops: List[Op],
-                 nfiles: int = NUM_FILES) -> RunOutcome:
+                 nfiles: int = NUM_FILES,
+                 cursor: Optional[OpCursor] = None) -> RunOutcome:
     """Apply ``ops`` to ``fs``, mirroring completed ops into ``shadow``.
 
     A :class:`~repro.crashmc.trace.CrashTriggered` escaping an operation
@@ -181,6 +196,8 @@ def run_workload(fs, shadow: Shadow, ops: List[Op],
     except CrashTriggered:
         return RunOutcome(completed=0, inflight=None, crashed=True)
     for idx, op in enumerate(ops):
+        if cursor is not None:
+            cursor.index = idx
         try:
             if op.kind == "append":
                 fs.pwrite(fds[op.file], bytes([op.fill]) * op.size,
@@ -192,4 +209,6 @@ def run_workload(fs, shadow: Shadow, ops: List[Op],
         except CrashTriggered:
             return RunOutcome(completed=idx, inflight=idx, crashed=True)
         shadow.apply(op)
+    if cursor is not None:
+        cursor.index = None
     return RunOutcome(completed=len(ops), inflight=None, crashed=False)

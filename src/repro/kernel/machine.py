@@ -51,6 +51,17 @@ class Machine:
         self.metrics.register_source("pmem.device", self.pm.stats)
         self.metrics.register_source("pmem.faults", self.faults)
         self.metrics.register_source("kernel.vm", self.vm.stats)
+        #: Monotonic id source for components whose ids land in on-device
+        #: names (SplitFS staging/oplog files).  Per-machine — not process-
+        #: global — so a forked machine replays the exact ids a from-scratch
+        #: replay would hand out, and ids stay unique within one image.
+        self._next_instance_id = 0
+
+    def next_instance_id(self) -> int:
+        """The next machine-scoped component instance id (see above)."""
+        iid = self._next_instance_id
+        self._next_instance_id += 1
+        return iid
 
     @property
     def obs(self):
@@ -71,13 +82,68 @@ class Machine:
             self.ras.config = config
         return self.ras
 
-    def crash(self, policy: Optional[CrashPolicy] = None) -> None:
-        """Power failure: PM loses un-persisted lines, DRAM loses everything."""
+    def crash(self, policy: Optional[CrashPolicy] = None,
+              survivors=None) -> None:
+        """Power failure: PM loses un-persisted lines, DRAM loses everything.
+
+        ``survivors`` (a set of cache-line indexes) selects the exact
+        un-persisted lines that nevertheless reach the device — the
+        deterministic reordering primitive the crash-state explorer uses;
+        it is mutually exclusive with ``policy``.
+        """
         self.crashes += 1
-        if policy is not None and policy.seed is None and self._crash_rng is not None:
-            policy = policy.with_seed(self._crash_rng.getrandbits(32))
-        self.pm.crash(policy)
+        if survivors is not None:
+            if policy is not None:
+                raise ValueError("pass either policy or survivors, not both")
+            self.pm.domain.crash_with_survivors(survivors)
+        else:
+            if policy is not None and policy.seed is None and self._crash_rng is not None:
+                policy = policy.with_seed(self._crash_rng.getrandbits(32))
+            self.pm.crash(policy)
         if self.dram is not None:
             self.dram.crash()
         if self.ras is not None:
             self.ras.on_crash()
+
+    def fork(self, cow_stats=None) -> "Machine":
+        """An O(1) copy-on-write fork of the whole machine at this instant.
+
+        The child gets its own clock (same simulated time), a CoW view of
+        the PM device (see :meth:`~repro.pmem.device.PersistentMemory.fork`),
+        and independent copies of every piece of bookkeeping a replayed
+        machine would have accumulated reaching this state: persistence-
+        domain line maps, fault-injector plan and counters, RAS regions /
+        checksums / scrub schedule, the crash RNG stream, and the VM/DRAM
+        state.  Exploring the child (crash, remount, recovery) is therefore
+        bit-identical to replaying the workload from scratch on a fresh
+        machine up to the same instant — without the replay.
+
+        The parent must not run while the child is alive (CoW pause
+        discipline, :mod:`repro.pmem.cow`).
+        """
+        child = object.__new__(Machine)
+        child.clock = SimClock(account=self.clock.account.snapshot())
+        child.faults = self.faults.fork()
+        child.pm = self.pm.fork(child.clock, faults=child.faults,
+                                cow_stats=cow_stats)
+        child.vm = VirtualMemory(child.clock)
+        vars(child.vm.stats).update(vars(self.vm.stats))
+        child.dram = self.dram.fork(child.clock) if self.dram is not None else None
+        child.seed = self.seed
+        if self._crash_rng is not None:
+            child._crash_rng = random.Random()
+            child._crash_rng.setstate(self._crash_rng.getstate())
+        else:
+            child._crash_rng = None
+        child.crashes = self.crashes
+        child._next_instance_id = self._next_instance_id
+        child.ras = None
+        child.metrics = MetricsRegistry()
+        child.metrics.register_source("pmem.device", child.pm.stats)
+        child.metrics.register_source("pmem.faults", child.faults)
+        child.metrics.register_source("kernel.vm", child.vm.stats)
+        if self.ras is not None:
+            child.ras = self.ras.fork(child.pm)
+            child.pm.ras = child.ras
+            child.metrics.register_source("ras.controller", child.ras.stats)
+        return child

@@ -181,7 +181,11 @@ class PersistenceDomain:
             # whole span's durable image once and let every line share it as
             # a (base_line, blob) segment — no per-line 64-byte copies.
             base = first * CACHELINE_SIZE
-            blob = bytes(memoryview(self.buf)[base : (last + 1) * CACHELINE_SIZE])
+            buf = self.buf
+            if type(buf) is bytearray:
+                blob = bytes(memoryview(buf)[base : (last + 1) * CACHELINE_SIZE])
+            else:  # CowBuffer (forked device)
+                blob = buf.read(base, (last + 1) * CACHELINE_SIZE)
             pre.update(zip(lines, repeat((first, blob))))
         else:
             buf = self.buf
@@ -227,6 +231,23 @@ class PersistenceDomain:
                     pre.pop(line, None)
             pending.clear()
         return drained
+
+    # -- forking -------------------------------------------------------------
+
+    def fork(self, buf) -> "PersistenceDomain":
+        """An independent copy of the domain state over ``buf``.
+
+        Preimage values are immutable (``bytes`` or shared segment tuples),
+        so the line maps are shared structurally: forking is two container
+        copies regardless of device size.  Observers are deliberately not
+        inherited — a forked machine is explored detached, exactly like a
+        replayed machine after :func:`~repro.crashmc.explorer` detaches its
+        trigger.
+        """
+        child = PersistenceDomain(buf)
+        child._preimages = dict(self._preimages)
+        child._pending_fence = set(self._pending_fence)
+        return child
 
     # -- introspection -------------------------------------------------------
 
@@ -277,6 +298,33 @@ class PersistenceDomain:
             else:
                 self.buf[start : start + CACHELINE_SIZE] = preimage
                 lost += 1
+        self._preimages.clear()
+        self._pending_fence.clear()
+        return lost, survived
+
+    def crash_with_survivors(self, survivors) -> Tuple[int, int]:
+        """Deterministic crash: exactly ``survivors`` (line indexes) keep
+        their volatile content; every other un-persisted line rolls back.
+
+        This is the primitive behind systematic intra-epoch *reordering*
+        exploration: instead of sampling eviction luck through a seeded
+        :class:`CrashPolicy`, the explorer enumerates chosen subsets of the
+        unfenced lines and crashes each one exactly.  Returns
+        ``(lines_lost, lines_survived)``.
+        """
+        lost = survived = 0
+        buf = self.buf
+        for line, preimage in self._preimages.items():
+            if line in survivors:
+                survived += 1
+                continue
+            if type(preimage) is not bytes:
+                seg_base, blob = preimage
+                off = (line - seg_base) * CACHELINE_SIZE
+                preimage = blob[off : off + CACHELINE_SIZE]
+            start = line * CACHELINE_SIZE
+            buf[start : start + CACHELINE_SIZE] = preimage
+            lost += 1
         self._preimages.clear()
         self._pending_fence.clear()
         return lost, survived

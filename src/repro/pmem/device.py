@@ -192,8 +192,11 @@ class PersistentMemory:
         self.stats.bytes_read += size
         latency = C.PM_RAND_READ_LATENCY_NS if random_access else C.PM_SEQ_READ_LATENCY_NS
         self.clock.charge(latency + size * C.PM_READ_NS_PER_BYTE, category)
-        # Single-copy read: slicing the bytearray first would copy twice.
-        return bytes(memoryview(self.buf)[addr : addr + size])
+        buf = self.buf
+        if type(buf) is bytearray:
+            # Single-copy read: slicing the bytearray first would copy twice.
+            return bytes(memoryview(buf)[addr : addr + size])
+        return buf.read(addr, addr + size)  # CowBuffer (forked device)
 
     def peek(self, addr: int, size: int) -> bytes:
         """Read without charging time (for assertions and recovery scans that
@@ -222,6 +225,35 @@ class PersistentMemory:
     def unpersisted_lines(self) -> int:
         return self.domain.dirty_line_count
 
+    # -- forking ----------------------------------------------------------------------
+
+    def fork(self, clock: SimClock, faults=None, cow_stats=None) -> "PersistentMemory":
+        """An O(1) copy-on-write fork of the device at this instant.
+
+        The child shares the parent's byte buffer through a
+        :class:`~repro.pmem.cow.CowBuffer` (lazy 64 KiB segment copies on
+        child writes) and gets independent copies of the persistence-domain
+        line maps, IO counters, and — via ``faults``/``clock`` supplied by
+        the machine-level fork — the fault-injection and timing state.
+        Observers and the RAS hook are not inherited; the machine fork
+        re-attaches a forked RAS controller.
+
+        The parent must stay paused while the child is alive (see
+        :mod:`repro.pmem.cow`); the crash-state explorer forks inside a
+        persistence-event hook and finishes the child before resuming.
+        """
+        from .cow import CowBuffer
+
+        child = object.__new__(PersistentMemory)
+        child.size = self.size
+        child.clock = clock
+        child.buf = CowBuffer(self.buf, stats=cow_stats)
+        child.domain = self.domain.fork(child.buf)
+        child.stats = self.stats.snapshot()
+        child.faults = faults
+        child.ras = None
+        return child
+
 
 class VolatileMemory:
     """A cost-modelled DRAM buffer (contents vanish at crash)."""
@@ -247,3 +279,9 @@ class VolatileMemory:
 
     def crash(self) -> None:
         self.buf = bytearray(self.size)
+
+    def fork(self, clock: SimClock) -> "VolatileMemory":
+        """A copy of the DRAM buffer on ``clock`` (machine forking)."""
+        child = VolatileMemory(self.size, clock)
+        child.buf = bytearray(self.buf)
+        return child

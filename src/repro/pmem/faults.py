@@ -94,6 +94,21 @@ class FaultInjector:
             raise ValueError("n must be positive")
         self.alloc_every = n
 
+    def fork(self) -> "FaultInjector":
+        """An independent copy of the armed plan and fired-fault counters
+        (machine forking: faults injected into a forked machine must not
+        leak back into the parent's plan)."""
+        child = FaultInjector(
+            poisoned=list(self.poisoned),
+            alloc_countdown=self.alloc_countdown,
+            alloc_every=self.alloc_every,
+        )
+        child.media_faults_fired = self.media_faults_fired
+        child.alloc_faults_fired = self.alloc_faults_fired
+        child.poison_cleared_by_write = self.poison_cleared_by_write
+        child._alloc_seen = self._alloc_seen
+        return child
+
     def reset_counters(self) -> None:
         """Zero the fired-fault counters (between crashmc replay states).
 

@@ -207,6 +207,32 @@ class RASController:
         self.regions.clear()
         self.remapped.clear()
 
+    def fork(self, pm: "PersistentMemory") -> "RASController":
+        """An independent controller over forked device ``pm``.
+
+        Region registrations (with their checksum lists), the remapped-lost
+        ledger, the event counters, and the scrub schedule are all copied so
+        a forked machine's recovery behaves bit-identically to a replayed
+        machine that reached the same state.  The config object is shared
+        (treated as immutable once the machine is running).
+        """
+        import dataclasses
+
+        child = object.__new__(RASController)
+        child.pm = pm
+        child.config = self.config
+        child.stats = dataclasses.replace(self.stats)
+        child.regions = []
+        for region in self.regions:
+            copy = _Region(region.primary, region.nbytes, region.replica)
+            copy.crcs = list(region.crcs) if region.crcs is not None else None
+            child.regions.append(copy)
+        child.remapped = list(self.remapped)
+        child.background_account = self.background_account.snapshot()
+        child._last_scrub_ns = self._last_scrub_ns
+        child._in_hook = False
+        return child
+
     def primary_ranges(self) -> List[Tuple[int, int]]:
         return [(r.primary, r.primary + r.nbytes) for r in self.regions]
 
