@@ -89,6 +89,36 @@ def render_ras_summary(measurements: Iterable) -> str:
         rows)
 
 
+def render_latency_load_table(title: str, points: Iterable) -> str:
+    """Figure-style latency-vs-offered-load table (`repro serve --sweep`).
+
+    ``points`` are :class:`~repro.serve.engine.ServeResult`\\ s in offered-load
+    order; the table shows the saturation knee — goodput flattening while the
+    tail quantiles and shed counts climb — the way the paper's figures plot
+    throughput curves.
+    """
+    rows = []
+    for r in points:
+        c = r.counters
+        stall = r.bandwidth.get("stall_fraction", 0.0) if r.bandwidth else 0.0
+        rows.append([
+            f"{r.offered_req_per_s / 1e3:.1f}",
+            f"{r.goodput_req_per_s / 1e3:.1f}",
+            fmt_us(r.latency["p50"]),
+            fmt_us(r.latency["p99"]),
+            fmt_us(r.latency["p999"]),
+            f"{c.shed}",
+            f"{c.timeouts}",
+            f"{c.retries}",
+            f"{100.0 * stall:.1f}%",
+        ])
+    return render_table(
+        title,
+        ["offered kreq/s", "goodput kreq/s", "p50 us", "p99 us", "p999 us",
+         "shed", "timeout", "retries", "dev stall"],
+        rows)
+
+
 def fmt_us(ns: float) -> str:
     return f"{ns / 1000:.2f}"
 

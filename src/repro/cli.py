@@ -299,6 +299,38 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import (
+        ServeConfig,
+        ServeEngine,
+        render_serve_report,
+        render_sweep_report,
+        run_sweep,
+    )
+
+    cfg = ServeConfig(
+        system=args.system,
+        app=args.app,
+        arrival=args.arrival,
+        clients=args.clients,
+        rate_per_client=args.rate_per_client,
+        offered_rate=args.offered,
+        requests=args.requests,
+        seed=args.seed,
+        records=args.records,
+        deadline_us=args.deadline_us,
+        queue_limit=args.queue_limit,
+        max_retries=args.max_retries,
+        bandwidth=args.bandwidth,
+    )
+    if args.sweep:
+        capacity, results = run_sweep(cfg)
+        print(render_sweep_report(capacity, results))
+    else:
+        print(render_serve_report(ServeEngine(cfg).run()))
+    return 0
+
+
 def cmd_ras_report(args: argparse.Namespace) -> int:
     from .ras.report import run_ras_report
 
@@ -481,6 +513,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--guard-repeats", type=int, default=5)
 
     p = sub.add_parser(
+        "serve",
+        help="open-loop load engine: tail latency + overload robustness")
+    p.add_argument("--system", default="splitfs-strict", choices=SYSTEM_NAMES)
+    p.add_argument("--app", default="kv", choices=["kv", "aof", "pagedb"],
+                   help="request workload: LSM store, append-only file, or "
+                        "paged DB (default kv)")
+    p.add_argument("--arrival", default="poisson",
+                   choices=["poisson", "bursty"])
+    p.add_argument("--clients", type=int, default=100,
+                   help="simulated clients; offered load = clients x "
+                        "--rate-per-client unless --offered is given")
+    p.add_argument("--rate-per-client", type=float, default=100.0,
+                   help="per-client request rate (req/s, default 100)")
+    p.add_argument("--offered", type=float, default=None,
+                   help="total offered load in req/s (overrides clients x "
+                        "rate)")
+    p.add_argument("--requests", type=int, default=2000,
+                   help="open-loop requests to generate")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--records", type=int, default=500,
+                   help="preloaded keyspace size (Zipfian popularity)")
+    p.add_argument("--deadline-us", type=float, default=400.0,
+                   help="end-to-end request deadline (us)")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   help="admission bound on in-flight requests")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="client retry budget (exponential backoff + "
+                        "seeded jitter)")
+    p.add_argument("--bandwidth", action="store_true",
+                   help="attach the token-bucket shared-bandwidth device "
+                        "model (off by default; makes saturation real)")
+    p.add_argument("--sweep", action="store_true",
+                   help="latency-vs-offered-load sweep around the probed "
+                        "capacity instead of a single run")
+
+    p = sub.add_parser(
         "ras-report",
         help="RAS layer: checksum overhead, repair ledger, degraded mode")
     p.add_argument("--system", default="splitfs-posix", choices=SYSTEM_NAMES)
@@ -500,6 +568,7 @@ _COMMANDS = {
     "fuzz": cmd_fuzz,
     "bench": cmd_bench,
     "profile": cmd_profile,
+    "serve": cmd_serve,
     "ras-report": cmd_ras_report,
     "crashdemo": cmd_crashdemo,
 }

@@ -205,6 +205,15 @@ class SplitFS(FileSystemAPI):
         self.rstats = (
             self.machine.ras.stats if self.machine.ras is not None else RASStats()
         )
+        # Publish the degraded-mode/hysteresis counters through the machine's
+        # metrics registry so serve reports (and any collector) see staging
+        # fallback events without reaching into SplitFS internals.  The
+        # field filter keeps the shared RAS stats block from leaking its
+        # unrelated error-ledger fields under this prefix.
+        self.machine.metrics.register_source(
+            "splitfs.degrade", self.rstats,
+            fields=("degraded_entries", "degraded_exits", "degraded_ops",
+                    "enospc_retries"))
         if not _defer_setup:
             self._setup()
 
@@ -853,6 +862,15 @@ class SplitFS(FileSystemAPI):
             # Mappings over the moved blocks remain valid: adopt them for
             # the target file at zero cost.
             self.mmaps.adopt(ufile.ino, run.target_off, run.length)
+            # Runs (or their head/tail) that relink had to byte-copy leave
+            # their staging blocks mapped; punch them in the same journal
+            # txn so every relinked entry reads as a hole to recovery.
+            # Otherwise a crash after this fsync replays the copied entry's
+            # stale bytes over data a later (block-swapped, hence holed)
+            # entry already carried into the file.  Carves are block-
+            # aligned per run, so the range is exclusively this run's.
+            self.kfs.punch_hole(run.carve.staging.kfd, run.staging_off,
+                                run.length)
             self._rollback_carve(run)
         if durable:
             self.kfs.commit_running_txn()

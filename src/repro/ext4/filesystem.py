@@ -878,6 +878,31 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
             self.commit_running_txn()
         self.dirty_data.pop(dst.ino, None)
 
+    def punch_hole(self, fd: int, offset: int, size: int) -> None:
+        """Deallocate the whole blocks covering ``[offset, offset+size)``.
+
+        Metadata-only, journaled into the running transaction (no commit
+        here — the caller batches it, like :meth:`ioctl_relink`).  U-Split
+        uses this after a relink byte-copied a staged run (phase mismatch,
+        protected tail) so the staged range reads as a hole either way:
+        strict-mode recovery treats a hole as "already relinked" and must
+        not replay such an entry's now-stale bytes over newer data.
+
+        No kernel-entry charge: this runs inside the relink ioctl batch,
+        which already paid the trap; on the common swap path the range is
+        already a hole and this is a pure no-op.
+        """
+        if size <= 0:
+            return
+        of = self.fdt.get(fd)
+        inode = self.inodes[of.ino]
+        first = offset // C.BLOCK_SIZE
+        nblocks = (offset + size + C.BLOCK_SIZE - 1) // C.BLOCK_SIZE - first
+        replaced = inode.extmap.punch(first, nblocks)
+        if replaced:
+            self.alloc.free(replaced)
+            self._journal_inode(inode)
+
     def commit_running_txn(self) -> None:
         """Inline journal commit (ioctl path: no fsync commit-thread wait).
 

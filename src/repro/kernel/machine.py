@@ -82,6 +82,24 @@ class Machine:
             self.ras.config = config
         return self.ras
 
+    def enable_bandwidth(self, model=None):
+        """Opt this machine into the shared-bandwidth device model.
+
+        Attaches a :class:`~repro.pmem.timing.BandwidthModel` (a token
+        bucket over device byte traffic) so stores/loads charge queueing
+        delay once the sustained device rate is exceeded.  Off by default —
+        no machine pays for it unless a caller (the serve engine) opts in.
+        Idempotent; returns the live model.
+        """
+        from ..pmem.timing import BandwidthModel
+
+        if self.pm.bandwidth is None or model is not None:
+            self.pm.bandwidth = model or BandwidthModel()
+            self.metrics.register_source("pmem.bandwidth", self.pm.bandwidth,
+                                         fields=("stalled_ops", "stall_ns",
+                                                 "bytes_acquired", "tokens"))
+        return self.pm.bandwidth
+
     def crash(self, policy: Optional[CrashPolicy] = None,
               survivors=None) -> None:
         """Power failure: PM loses un-persisted lines, DRAM loses everything.
@@ -146,4 +164,8 @@ class Machine:
             child.ras = self.ras.fork(child.pm)
             child.pm.ras = child.ras
             child.metrics.register_source("ras.controller", child.ras.stats)
+        if child.pm.bandwidth is not None:
+            child.metrics.register_source(
+                "pmem.bandwidth", child.pm.bandwidth,
+                fields=("stalled_ops", "stall_ns", "bytes_acquired", "tokens"))
         return child

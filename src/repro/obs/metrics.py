@@ -74,7 +74,7 @@ class Histogram:
         self.buckets: List[int] = [0] * _HIST_BUCKETS
 
     def record(self, value: float) -> None:
-        if value < 0:
+        if value < 0 or value != value:  # negative or NaN: clamp to zero
             value = 0.0
         self.count += 1
         self.sum += value
@@ -86,8 +86,10 @@ class Histogram:
 
     @staticmethod
     def _bucket_index(value: float) -> int:
+        if value >= 2.0 ** _HIST_BUCKETS:  # huge values (incl. inf) clamp
+            return _HIST_BUCKETS - 1
         iv = int(value)
-        if iv < 1:
+        if iv < 1:  # bucket 0 covers [0, 2): zeros and sub-ns fractions
             return 0
         idx = iv.bit_length() - 1
         return idx if idx < _HIST_BUCKETS else _HIST_BUCKETS - 1
@@ -108,6 +110,38 @@ class Histogram:
                 upper = float(2 ** (i + 1) - 1)
                 return min(upper, self.max)
         return self.max  # pragma: no cover - unreachable (counts sum to count)
+
+    def quantile(self, q: float) -> float:
+        """The q-th quantile (``q`` in [0, 1]) by log-bucket interpolation.
+
+        Unlike :meth:`percentile` (which returns the covering bucket's upper
+        bound), this interpolates linearly *within* the covering bucket —
+        samples in bucket ``i`` are treated as uniformly spread over
+        ``[2**i, 2**(i+1))`` — and clamps the result to the exactly-tracked
+        ``[min, max]`` range, so ``quantile(0.0) >= min``,
+        ``quantile(1.0) == max``, and an all-zero stream yields 0 at every
+        ``q``.  The result is monotone in ``q`` and within one power-of-two
+        bucket of the exact sample quantile.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        if q == 0.0:  # the exact minimum is tracked; no need to interpolate
+            return self.min
+        rank = q * (self.count - 1)  # fractional rank over the sorted stream
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if rank < seen + n:
+                lo = 0.0 if i == 0 else float(2 ** i)
+                hi = float(2 ** (i + 1))
+                frac = (rank - seen + 1.0) / n
+                value = lo + frac * (hi - lo)
+                return min(max(value, self.min), self.max)
+            seen += n
+        return self.max
 
     def reset(self) -> None:
         self.count = 0
@@ -167,7 +201,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
-        self._sources: List[Tuple[str, Any]] = []
+        self._sources: List[Tuple[str, Any, Optional[Tuple[str, ...]]]] = []
 
     # -- instruments ----------------------------------------------------------
 
@@ -191,17 +225,30 @@ class MetricsRegistry:
 
     # -- sources --------------------------------------------------------------
 
-    def register_source(self, prefix: str, obj: Any) -> None:
-        """Expose a stats dataclass's numeric fields as ``prefix.field``."""
-        self._sources = [(p, o) for (p, o) in self._sources
+    def register_source(self, prefix: str, obj: Any,
+                        fields: Optional[Iterable[str]] = None) -> None:
+        """Expose a stats dataclass's numeric fields as ``prefix.field``.
+
+        ``fields`` restricts the export to the named subset — used when one
+        stats object feeds two prefixes (e.g. the SplitFS degraded-mode
+        counters live on the shared RAS stats block but are also published
+        as ``splitfs.degrade.*``).  Re-registering a prefix replaces it; the
+        same object may back multiple prefixes.
+        """
+        self._sources = [(p, o, f) for (p, o, f) in self._sources
                          if not (p == prefix and o is not obj)]
-        if not any(o is obj for _, o in self._sources):
-            self._sources.append((prefix, obj))
+        if not any(p == prefix and o is obj for p, o, _ in self._sources):
+            self._sources.append(
+                (prefix, obj, tuple(fields) if fields is not None else None))
 
     @staticmethod
-    def _source_items(prefix: str, obj: Any) -> Iterable[Tuple[str, float]]:
+    def _source_items(prefix: str, obj: Any,
+                      fields: Optional[Tuple[str, ...]] = None,
+                      ) -> Iterable[Tuple[str, float]]:
         if dataclasses.is_dataclass(obj):
             for f in dataclasses.fields(obj):
+                if fields is not None and f.name not in fields:
+                    continue
                 v = getattr(obj, f.name)
                 if isinstance(v, (int, float)) and not isinstance(v, bool):
                     yield f"{prefix}.{f.name}", float(v)
@@ -216,7 +263,7 @@ class MetricsRegistry:
             g.reset()
         for h in self._histograms.values():
             h.reset()
-        for _, obj in self._sources:
+        for _, obj, _fields in self._sources:
             if dataclasses.is_dataclass(obj) and any(
                     f.metadata.get("counter") for f in dataclasses.fields(obj)):
                 reset_counter_fields(obj)
@@ -233,8 +280,8 @@ class MetricsRegistry:
         for name, h in sorted(self._histograms.items()):
             for k, v in h.as_dict().items():
                 out[f"{name}.{k}"] = v
-        for prefix, obj in self._sources:
-            for name, value in self._source_items(prefix, obj):
+        for prefix, obj, fields in self._sources:
+            for name, value in self._source_items(prefix, obj, fields):
                 out[name] = value
         return out
 

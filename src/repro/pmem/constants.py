@@ -66,6 +66,26 @@ DRAM_WRITE_NS_PER_BYTE = 1.0 / 80.0  # 80 GB/s
 DRAM_ACCESS_LATENCY_NS = 81.0
 
 # ---------------------------------------------------------------------------
+# Shared-bandwidth device model (token bucket; opt-in, `repro serve`)
+# ---------------------------------------------------------------------------
+
+#: Sustained device write bandwidth under a mixed small-write stream, bytes
+#: per nanosecond.  Per van Renen et al. (*PM I/O Primitives*), Optane DC
+#: sustains far below its streaming ceiling once writes are small and
+#: interleaved — ~2.3 GB/s per DIMM — which is what an open-loop server
+#: actually sees.  The per-op costs above model the *uncontended* latency;
+#: the token bucket adds queueing delay once offered byte-rate exceeds this
+#: sustained rate.  Off by default: only machines that call
+#: ``enable_bandwidth()`` (the serve engine) ever charge it.
+PM_SUSTAINED_WRITE_BW_BYTES_PER_NS = 2.3
+#: Token-bucket burst allowance: bytes the device absorbs at full speed
+#: before queueing kicks in (device-side write buffering, ~1 MB).
+PM_BANDWIDTH_BURST_BYTES = 1 << 20
+#: Read traffic consumes shared device bandwidth at this weight relative to
+#: writes (reads stream ~4x faster than sustained small writes).
+PM_BANDWIDTH_READ_WEIGHT = 0.25
+
+# ---------------------------------------------------------------------------
 # Kernel-path software costs (calibrated)
 # ---------------------------------------------------------------------------
 

@@ -67,6 +67,11 @@ class PersistentMemory:
         #: Optional :class:`~repro.ras.RASController` (set by
         #: ``machine.enable_ras()``); hooks loads, stores, and fences.
         self.ras = None
+        #: Optional :class:`~repro.pmem.timing.BandwidthModel` (set by
+        #: ``machine.enable_bandwidth()``); charges token-bucket queueing
+        #: delay on stores/loads once the sustained byte-rate is exceeded.
+        #: ``None`` (the default) leaves every charge untouched.
+        self.bandwidth = None
 
     # -- persistence-trace hooks ------------------------------------------------
 
@@ -130,6 +135,10 @@ class PersistentMemory:
         else:
             lines = (size + C.CACHELINE_SIZE - 1) // C.CACHELINE_SIZE
             self.clock.charge(lines * C.STORE_NS, category)
+        if self.bandwidth is not None:
+            delay = self.bandwidth.acquire(size, self.clock.now_ns)
+            if delay:
+                self.clock.charge(delay, category)
         if self.faults is not None:
             self.faults.on_store(addr, size)
         if self.ras is not None:
@@ -192,6 +201,10 @@ class PersistentMemory:
         self.stats.bytes_read += size
         latency = C.PM_RAND_READ_LATENCY_NS if random_access else C.PM_SEQ_READ_LATENCY_NS
         self.clock.charge(latency + size * C.PM_READ_NS_PER_BYTE, category)
+        if self.bandwidth is not None:
+            delay = self.bandwidth.acquire_read(size, self.clock.now_ns)
+            if delay:
+                self.clock.charge(delay, category)
         buf = self.buf
         if type(buf) is bytearray:
             # Single-copy read: slicing the bytearray first would copy twice.
@@ -252,6 +265,8 @@ class PersistentMemory:
         child.stats = self.stats.snapshot()
         child.faults = faults
         child.ras = None
+        child.bandwidth = (self.bandwidth.clone()
+                           if self.bandwidth is not None else None)
         return child
 
 

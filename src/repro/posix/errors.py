@@ -48,6 +48,13 @@ class NoSpaceFSError(FSError):
     errno_name = "ENOSPC"
 
 
+class TryAgainFSError(FSError):
+    """Transient resource exhaustion (server overload, admission rejection);
+    the caller is expected to back off and retry."""
+
+    errno_name = "EAGAIN"
+
+
 class PermissionFSError(FSError):
     errno_name = "EACCES"
 

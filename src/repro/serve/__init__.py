@@ -1,0 +1,34 @@
+"""Open-loop load engine with overload robustness (`repro serve`).
+
+The bench harness answers "how fast is one client in a closed loop"; this
+package answers the ROADMAP's north-star question — *what does SplitFS buy
+at the tail under heavy open-loop traffic, and how does it degrade when the
+device saturates*.  It combines
+
+* seeded arrival processes (:mod:`.arrival`: Poisson and bursty on/off),
+* request workloads with Zipfian key popularity over the LSM / AOF /
+  paged-DB app models (:mod:`.workload`),
+* a single-server queueing engine on the simulated clock with the full
+  overload-robustness stack — admission control, device-saturation
+  backpressure, per-request deadlines, and deterministic retry with
+  exponential backoff + seeded jitter (:mod:`.engine`), and
+* byte-deterministic tail-latency/SLO reporting (:mod:`.report`).
+"""
+
+from .arrival import bursty_arrivals, poisson_arrivals
+from .engine import ServeConfig, ServeCounters, ServeEngine, ServeResult, run_sweep
+from .report import render_serve_report, render_sweep_report
+from .workload import make_workload
+
+__all__ = [
+    "ServeConfig",
+    "ServeCounters",
+    "ServeEngine",
+    "ServeResult",
+    "bursty_arrivals",
+    "make_workload",
+    "poisson_arrivals",
+    "render_serve_report",
+    "render_sweep_report",
+    "run_sweep",
+]

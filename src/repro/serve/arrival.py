@@ -1,0 +1,68 @@
+"""Seeded open-loop arrival processes.
+
+Both generators yield absolute arrival times in simulated nanoseconds,
+starting from 0, and never touch the ``random`` module's global state: the
+caller hands in a private :class:`random.Random` so two identical-seed serve
+runs produce byte-identical request streams (the crashmc determinism
+pattern).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+#: Defaults for the bursty (on/off Markov-modulated Poisson) process.
+BURSTY_PEAK_TO_MEAN = 8.0
+BURSTY_TROUGH_TO_MEAN = 0.25
+BURSTY_CYCLE_NS = 2e6
+
+
+def poisson_arrivals(rng: random.Random, rate_per_ns: float,
+                     ) -> Iterator[float]:
+    """A Poisson process: i.i.d. exponential inter-arrival times.
+
+    ``rate_per_ns`` is the offered load λ in requests per simulated
+    nanosecond (requests/s divided by 1e9).
+    """
+    if rate_per_ns <= 0:
+        raise ValueError("arrival rate must be positive")
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_per_ns)
+        yield t
+
+
+def bursty_arrivals(rng: random.Random, rate_per_ns: float,
+                    peak_to_mean: float = BURSTY_PEAK_TO_MEAN,
+                    trough_to_mean: float = BURSTY_TROUGH_TO_MEAN,
+                    cycle_ns: float = BURSTY_CYCLE_NS) -> Iterator[float]:
+    """An on/off Markov-modulated Poisson process with the same mean rate.
+
+    Alternates exponentially-distributed ON phases (rate ``peak_to_mean`` x
+    the mean) with OFF phases (``trough_to_mean`` x); phase durations are
+    chosen so the long-run average equals ``rate_per_ns``.  Restarting the
+    exponential draw at each phase boundary is exact (memorylessness), so
+    the clipped draws introduce no bias.
+    """
+    if rate_per_ns <= 0:
+        raise ValueError("arrival rate must be positive")
+    if not trough_to_mean < 1.0 < peak_to_mean:
+        raise ValueError("need trough_to_mean < 1 < peak_to_mean")
+    hi = rate_per_ns * peak_to_mean
+    lo = rate_per_ns * trough_to_mean
+    on_fraction = (rate_per_ns - lo) / (hi - lo)
+    t = 0.0
+    on = True
+    while True:
+        mean_phase = cycle_ns * (on_fraction if on else 1.0 - on_fraction)
+        end = t + rng.expovariate(1.0 / mean_phase)
+        rate = hi if on else lo
+        while True:
+            nxt = t + rng.expovariate(rate)
+            if nxt >= end:
+                break
+            t = nxt
+            yield t
+        t = end
+        on = not on

@@ -1,0 +1,72 @@
+"""Byte-deterministic renderers for serve runs and sweeps.
+
+No wall-clock, no timestamps, no dict-ordering hazards: two identical-seed
+runs must render byte-identical reports (gated in CI by `cmp`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..bench.report import fmt_us, render_latency_load_table, render_table
+from .engine import ServeResult
+
+
+def render_serve_report(result: ServeResult) -> str:
+    cfg = result.config
+    c = result.counters
+    title = (f"repro serve: {cfg.system} app={cfg.app} "
+             f"arrival={cfg.arrival} clients={cfg.clients} seed={cfg.seed}")
+    lines = [title, "=" * len(title)]
+    lines.append(
+        f"offered {result.offered_req_per_s / 1e3:.1f} kreq/s, "
+        f"{c.generated} requests over {result.duration_ns / 1e6:.2f} ms "
+        f"simulated"
+        + (", bandwidth model on" if cfg.bandwidth else ""))
+    lines.append(
+        f"goodput {result.goodput_req_per_s / 1e3:.1f} kreq/s "
+        f"({c.deadline_met}/{c.generated} within the "
+        f"{cfg.deadline_us:.0f} us deadline)")
+    lat = result.latency
+    lines.append(
+        f"latency us: p50 {fmt_us(lat['p50'])}  p99 {fmt_us(lat['p99'])}  "
+        f"p999 {fmt_us(lat['p999'])}  max {fmt_us(lat['max'])}  "
+        f"mean {fmt_us(lat['mean'])}")
+    lines.append(
+        f"queueing us: wait mean {fmt_us(result.wait_ns_mean)}  "
+        f"service mean {fmt_us(result.service_ns_mean)}")
+    lines.append(render_table(
+        "overload counters",
+        ["completed", "shed", "retries", "timeouts", "rejections",
+         "bp-rejections", "retryable-errs", "failed"],
+        [[c.completed, c.shed, c.retries, c.timeouts, c.rejections,
+          c.backpressure_rejections, c.retryable_errors, c.failed]]))
+    if result.degrade:
+        parts = [f"{k.split('.')[-1]}={result.degrade[k]:.0f}"
+                 for k in sorted(result.degrade)]
+        lines.append("splitfs degrade: " + "  ".join(parts))
+    if result.bandwidth:
+        b = result.bandwidth
+        lines.append(
+            f"device: {b['stalled_ops']:.0f} stalled transfers, "
+            f"stall {b['stall_ns'] / 1e6:.2f} ms "
+            f"({100.0 * b['stall_fraction']:.1f}% of duration), "
+            f"{b['bytes_acquired'] / 1e6:.1f} MB through the token bucket")
+    return "\n".join(lines)
+
+
+def render_sweep_report(capacity_req_per_s: float,
+                        results: Iterable[ServeResult]) -> str:
+    results = list(results)
+    cfg = results[0].config
+    lines: List[str] = [
+        f"capacity probe: {capacity_req_per_s / 1e3:.1f} kreq/s "
+        f"(closed-loop service rate, {cfg.system}/{cfg.app})",
+        "",
+        render_latency_load_table(
+            f"Tail latency vs offered load: {cfg.system} app={cfg.app} "
+            f"arrival={cfg.arrival} seed={cfg.seed}"
+            + (" [bandwidth model]" if cfg.bandwidth else ""),
+            results),
+    ]
+    return "\n".join(lines)

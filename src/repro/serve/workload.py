@@ -1,0 +1,152 @@
+"""Request workloads for the serve engine.
+
+Each workload maps the arrival stream onto one of the application models the
+paper evaluates — the LSM store (LevelDB), the append-only-file store
+(Redis AOF), and the paged database (SQLite WAL) — with Zipfian key
+popularity reusing :class:`repro.apps.ycsb.ScrambledZipfian`.
+
+Requests are immutable *descriptors* drawn up-front from the workload's
+private RNG: a retried request re-executes exactly the same operation, and
+the op chosen for request *i* never depends on how earlier requests were
+scheduled, shed, or retried.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apps.ycsb import ScrambledZipfian, key_of
+from ..posix.api import FileSystemAPI
+
+APP_NAMES = ("kv", "aof", "pagedb")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One request descriptor: what to do, independent of when."""
+
+    kind: str  # "get" | "put"
+    key: int
+
+
+class ServeWorkload:
+    """Base: Zipfian get/put request stream over a KV-style app model."""
+
+    name = "base"
+
+    def __init__(self, rng: random.Random, records: int = 500,
+                 value_size: int = 256, read_fraction: float = 0.7) -> None:
+        self.rng = rng
+        self.records = records
+        self.value_size = value_size
+        self.read_fraction = read_fraction
+        self.chooser = ScrambledZipfian(
+            records, rng=random.Random(rng.getrandbits(32)))
+        # Deterministic payload; per-request randomness lives in the key.
+        self.value = bytes((i * 31 + 7) % 251 for i in range(value_size))
+
+    # -- request stream -----------------------------------------------------
+
+    def next_request(self) -> Request:
+        kind = "get" if self.rng.random() < self.read_fraction else "put"
+        return Request(kind, self.chooser.next())
+
+    # -- app lifecycle ------------------------------------------------------
+
+    def setup(self, fs: FileSystemAPI):
+        raise NotImplementedError
+
+    def execute(self, ctx, req: Request) -> None:
+        raise NotImplementedError
+
+
+class KVServeWorkload(ServeWorkload):
+    """LSM point lookups/updates on the LevelDB model."""
+
+    name = "kv"
+
+    def setup(self, fs: FileSystemAPI):
+        from ..apps.leveldb import LevelDB
+
+        db = LevelDB(fs)
+        for i in range(self.records):
+            db.put(key_of(i), self.value)
+        db.sync()
+        return db
+
+    def execute(self, db, req: Request) -> None:
+        if req.kind == "get":
+            db.get(key_of(req.key))
+        else:
+            db.put(key_of(req.key), self.value)
+
+
+class AOFServeWorkload(ServeWorkload):
+    """Append-only-file sets/gets on the Redis model (write-heavy)."""
+
+    name = "aof"
+
+    def __init__(self, rng: random.Random, records: int = 500,
+                 value_size: int = 256, read_fraction: float = 0.2) -> None:
+        super().__init__(rng, records, value_size, read_fraction)
+
+    def setup(self, fs: FileSystemAPI):
+        from ..apps.redis import RedisAOF
+
+        server = RedisAOF(fs, fsync_every_ops=64)
+        for i in range(self.records):
+            server.set(key_of(i), self.value)
+        fs.fsync(server.fd)
+        return server
+
+    def execute(self, server, req: Request) -> None:
+        if req.kind == "get":
+            server.get(key_of(req.key))
+        else:
+            server.set(key_of(req.key), self.value)
+
+
+class PageDBServeWorkload(ServeWorkload):
+    """One-record transactions on the SQLite-WAL paged-database model."""
+
+    name = "pagedb"
+
+    def setup(self, fs: FileSystemAPI):
+        from ..apps.sqlite import SQLiteWAL
+
+        db = SQLiteWAL(fs)
+        for start in range(0, self.records, 64):
+            db.begin()
+            for i in range(start, min(start + 64, self.records)):
+                db.put(key_of(i), self.value)
+            db.commit()
+        return db
+
+    def execute(self, db, req: Request) -> None:
+        if req.kind == "get":
+            db.get(key_of(req.key))
+        else:
+            db.begin()
+            db.put(key_of(req.key), self.value)
+            db.commit()
+
+
+_WORKLOADS = {
+    "kv": KVServeWorkload,
+    "aof": AOFServeWorkload,
+    "pagedb": PageDBServeWorkload,
+}
+
+
+def make_workload(app: str, rng: random.Random, records: int = 500,
+                  value_size: int = 256,
+                  read_fraction: Optional[float] = None) -> ServeWorkload:
+    """Build the named request workload on a private RNG."""
+    if app not in _WORKLOADS:
+        raise ValueError(f"unknown serve app {app!r}; choose from {APP_NAMES}")
+    kwargs = {"records": records, "value_size": value_size}
+    if read_fraction is not None:
+        kwargs["read_fraction"] = read_fraction
+    return _WORKLOADS[app](rng, **kwargs)

@@ -140,3 +140,55 @@ class TestReplaySemantics:
         data = kfs2.pread(f2, 6400, 0)
         for i in range(100):
             assert data[i * 64 : (i + 1) * 64] == bytes([i % 251]) * 64
+
+
+class TestRelinkInvalidatesCopiedRuns:
+    """Relink must leave a hole in staging even for runs it *byte-copied*
+    (phase mismatch, protected tail) — otherwise their oplog entries stay
+    replayable and recovery smears stale bytes over data that a later,
+    block-swapped (hence holed) entry already carried into the file."""
+
+    def test_stale_copied_entry_not_replayed_over_newer_relink(self):
+        from repro.pmem.cache import CrashPolicy
+
+        m, kfs, fs = fresh_strict()
+        fd = fs.open("/w0", F.O_CREAT | F.O_RDWR)
+        fs.pwrite(fd, b"\x01", 0)
+        fs.pwrite(fd, b"\x01", 1)
+        # Overwrite of committed bytes with live data after it in the same
+        # block: relink byte-copies this 1-byte run (protected tail)...
+        fs.pwrite(fd, b"\x02", 0)
+        # ...then this covering 2-byte run is block-swapped, holing its
+        # staging range but not (pre-fix) the copied run's.
+        fs.pwrite(fd, b"\x01\x01", 0)
+        fs.fsync(fd)
+        m.crash(CrashPolicy(survive_probability=0.5, seed=0))
+        rkfs, report = recover(m, strict=True)
+        assert rkfs.read_file("/w0") == b"\x01\x01"
+
+    def test_clean_crash_after_fsync_replays_nothing_stale(self):
+        from repro.pmem.cache import CrashPolicy
+
+        m, kfs, fs = fresh_strict()
+        fd = fs.open("/w0", F.O_CREAT | F.O_RDWR)
+        fs.pwrite(fd, b"ab", 0)
+        fs.pwrite(fd, b"X", 0)
+        fs.pwrite(fd, b"cd", 0)
+        fs.fsync(fd)
+        m.crash(CrashPolicy(survive_probability=1.0, seed=1))
+        rkfs, _ = recover(m, strict=True)
+        assert rkfs.read_file("/w0") == b"cd"
+
+    def test_crash_before_fsync_still_replays_in_seq_order(self):
+        from repro.pmem.cache import CrashPolicy
+
+        m, kfs, fs = fresh_strict()
+        fd = fs.open("/w0", F.O_CREAT | F.O_RDWR)
+        fs.pwrite(fd, b"\x01\x01", 0)
+        fs.pwrite(fd, b"\x02", 0)
+        fs.pwrite(fd, b"\x03\x03", 0)
+        # No fsync: nothing relinked, every entry alive; seq-ordered replay
+        # must still converge to the last write (strict = sync + atomic).
+        m.crash(CrashPolicy(survive_probability=1.0, seed=2))
+        rkfs, _ = recover(m, strict=True)
+        assert rkfs.read_file("/w0") == b"\x03\x03"

@@ -8,7 +8,7 @@ by an fsync barrier) and what *may* survive.
 
 from __future__ import annotations
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core import Mode, SplitFS, recover
@@ -77,6 +77,14 @@ def run_workload(fs, shadow, ops):
 
 @given(ops=ops_st, seed=st.integers(0, 2**16))
 @settings(max_examples=40, deadline=None)
+@example(
+    ops=[('append', 0, 1, 1),
+     ('append', 0, 1, 1),
+     ('overwrite', 0, 0, 1, 2),
+     ('overwrite', 0, 0, 2, 1),
+     ('fsync', 0)],
+    seed=0,
+).via('discovered failure')
 def test_splitfs_strict_recovers_everything(ops, seed):
     """Strict mode: every completed operation survives any crash."""
     m = Machine(PM)

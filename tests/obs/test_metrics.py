@@ -164,3 +164,124 @@ class TestMachineRegistry:
         machine.faults.media_faults_fired = 3
         machine.faults.reset_counters()
         assert machine.faults.media_faults_fired == 0
+
+
+class TestQuantile:
+    """`Histogram.quantile`: interpolated, clamped, within one log bucket."""
+
+    def test_empty_histogram_is_zero_everywhere(self):
+        h = Histogram("h")
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram("h")
+        h.record(5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.01)
+        with pytest.raises(ValueError):
+            h.quantile(1.01)
+
+    def test_all_zero_stream_yields_zero(self):
+        h = Histogram("h")
+        for _ in range(100):
+            h.record(0)
+        for q in (0.0, 0.5, 0.999, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_extremes_clamp_to_exact_min_max(self):
+        h = Histogram("h")
+        for v in (3, 40, 500, 6000):
+            h.record(v)
+        assert h.quantile(0.0) == 3
+        assert h.quantile(1.0) == 6000
+
+    def test_huge_and_inf_values_clamp_to_last_bucket(self):
+        h = Histogram("h")
+        h.record(2.0 ** 80)
+        h.record(float("inf"))
+        h.record(float("nan"))  # clamped to 0 on record
+        assert h.buckets[0] == 1
+        assert h.buckets[-1] == 2
+        # Quantiles stay finite: clamped to the tracked max (inf is the max
+        # here, so the p0 end still reports the exact min of 0).
+        assert h.quantile(0.0) == 0.0
+
+    def test_monotone_in_q(self):
+        h = Histogram("h")
+        rng = __import__("random").Random(11)
+        for _ in range(500):
+            h.record(rng.expovariate(1.0 / 5000.0))
+        qs = [i / 100.0 for i in range(101)]
+        vals = [h.quantile(q) for q in qs]
+        assert vals == sorted(vals)
+
+    def test_within_one_log_bucket_of_exact(self):
+        import random as _random
+
+        rng = _random.Random(7)
+        samples = sorted(rng.expovariate(1.0 / 20000.0) for _ in range(2000))
+        h = Histogram("h")
+        for s in samples:
+            h.record(s)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = samples[int(q * (len(samples) - 1))]
+            approx = h.quantile(q)
+            # Bucket i covers [2**i, 2**(i+1)): at most a 2x relative error.
+            assert exact / 2 <= approx <= exact * 2, (q, exact, approx)
+
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - toolchain always ships hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis unavailable")
+class TestQuantileProperty:
+    @given(values=st.lists(
+        st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+        min_size=1, max_size=200),
+        q=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_quantile_brackets_exact_sample_quantile(self, values, q):
+        h = Histogram("h")
+        for v in values:
+            h.record(v)
+        approx = h.quantile(q)
+        ordered = sorted(values)
+        rank = q * (len(ordered) - 1)
+        # A fractional rank interpolates between two order statistics, so
+        # bracket against both neighbours: within the covering power-of-two
+        # bucket of that range, clamped to the exact [min, max].
+        below = ordered[int(rank)]
+        above = ordered[min(int(rank) + 1, len(ordered) - 1)]
+        assert min(values) <= approx <= max(values)
+        lo = below / 2 if below >= 2 else 0.0
+        assert lo <= approx <= max(above * 2, 2.0)
+
+
+class TestSourceFieldFilters:
+    def test_fields_filter_restricts_export(self):
+        reg = MetricsRegistry()
+        st_ = FakeStats()
+        st_.fired = 4
+        reg.register_source("a", st_)
+        reg.register_source("b", st_, fields=("fired",))
+        out = reg.collect()
+        assert out["a.fired"] == 4.0 and out["a.high_water"] == 7.0
+        assert out["b.fired"] == 4.0
+        assert "b.high_water" not in out
+
+    def test_same_object_may_back_two_prefixes(self):
+        reg = MetricsRegistry()
+        st_ = FakeStats()
+        reg.register_source("x", st_)
+        reg.register_source("y", st_, fields=("fired",))
+        prefixes = {k.split(".")[0] for k in reg.collect()}
+        assert {"x", "y"} <= prefixes
+        reg.reset()  # one consolidated reset, no double-free style issues
+        assert st_.fired == 0
