@@ -171,10 +171,21 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.scaling:
+        from .bench.scaling import render_scaling_report, run_scaling
+
+        points = run_scaling(
+            systems=args.systems.split(",") if args.systems else None,
+            cpu_counts=tuple(int(n) for n in args.cpus_list.split(",")),
+            clients=args.clients, ops=args.ops, seed=args.seed)
+        print(render_scaling_report(points))
+        return 0
+
     from .bench import wallclock as wc
 
     if not args.wallclock:
-        print("repro bench: only --wallclock is implemented", file=sys.stderr)
+        print("repro bench: only --wallclock and --scaling are implemented",
+              file=sys.stderr)
         return 2
 
     if args.verify:
@@ -321,6 +332,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         deadline_us=args.deadline_us,
         queue_limit=args.queue_limit,
         max_retries=args.max_retries,
+        cpus=args.cpus,
         bandwidth=args.bandwidth,
     )
     if args.sweep:
@@ -459,7 +471,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "bench", help="simulator wall-clock benchmarks")
     p.add_argument("--wallclock", action="store_true",
-                   help="run the wall-clock suite (required; the only mode)")
+                   help="run the wall-clock suite")
+    p.add_argument("--scaling", action="store_true",
+                   help="throughput-vs-CPUs scaling curves per system on "
+                        "the discrete-event scheduler (simulated time)")
+    p.add_argument("--cpus-list", default="1,2,4,8",
+                   help="comma-separated CPU counts for --scaling")
+    p.add_argument("--systems", default=None,
+                   help="comma-separated systems for --scaling "
+                        "(default: all)")
+    p.add_argument("--clients", type=int, default=8,
+                   help="concurrent client tasks for --scaling")
+    p.add_argument("--ops", type=int, default=32,
+                   help="appends per client for --scaling")
+    p.add_argument("--seed", type=int, default=7,
+                   help="workload seed for --scaling")
     p.add_argument("--repeats", type=int, default=3,
                    help="runs per workload; best wall time is kept")
     p.add_argument("--verify", action="store_true",
@@ -541,6 +567,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-retries", type=int, default=3,
                    help="client retry budget (exponential backoff + "
                         "seeded jitter)")
+    p.add_argument("--cpus", type=int, default=1,
+                   help="serve CPUs: the FIFO becomes an M-server queue "
+                        "(one server per CPU; default 1 = legacy queue)")
     p.add_argument("--bandwidth", action="store_true",
                    help="attach the token-bucket shared-bandwidth device "
                         "model (off by default; makes saturation real)")

@@ -175,8 +175,12 @@ class SplitFS(FileSystemAPI):
         self.clock = kfs.clock
         self.mode = mode
         self.config = config or SplitFSConfig()
-        self.process = process or Process()
-        self.shm = shm or SharedMemoryStore()
+        # Machine-scoped defaults: pids from the machine's counter (they key
+        # /dev/shm blobs, so they must be replay/fork-deterministic) and the
+        # machine-wide shm store (execve state is per-machine, not
+        # per-instance).
+        self.process = process or Process(machine=self.machine)
+        self.shm = shm or self.machine.shm
         # Instance ids land in on-device staging/oplog file names, so they
         # must be unique within one device image (a recovered instance must
         # not collide with the pre-crash instance's leftovers) and — for
@@ -271,11 +275,29 @@ class SplitFS(FileSystemAPI):
     def _committed_size(self, ufile: UFile) -> int:
         return self.kfs.inodes[ufile.ino].size
 
+    def _refresh_size(self, ufile: UFile) -> None:
+        """Adopt growth another U-Split instance has relinked (Section 3.5).
+
+        An instance's cached ``ufile.size`` goes stale when a *different*
+        instance sharing the file fsyncs: its staged appends relink into the
+        kernel inode, which this cache never sees.  Re-reading the committed
+        size at the visibility points (read, stat, O_APPEND positioning,
+        SEEK_END) makes exactly the fsync-published bytes visible — staged
+        data in the other instance stays invisible because its runs are
+        private.  Single-instance use is unaffected: the local size already
+        includes every staged append, so ``committed <= ufile.size`` and
+        this is a no-op.
+        """
+        committed = self._committed_size(ufile)
+        if committed > ufile.size:
+            ufile.size = committed
+
     def _log(self, entry) -> None:
         """Append to the operation log, checkpointing when full."""
         if self.oplog is None:
             return
-        with self.clock.obs.span("usplit.oplog_append", cat="oplog"):
+        with self.machine.lock(f"usplit.i{self.instance_id}.oplog"), \
+                self.clock.obs.span("usplit.oplog_append", cat="oplog"):
             try:
                 self.oplog.append(entry)
             except LogFullError:
@@ -500,6 +522,7 @@ class SplitFS(FileSystemAPI):
         ufile = desc.ufile
         if self.kfs.inodes[ufile.ino].is_dir:
             raise IsADirectoryFSError(ufile.path)
+        self._refresh_size(ufile)
         if offset >= ufile.size or count <= 0:
             return b""
         count = min(count, ufile.size - offset)
@@ -564,6 +587,7 @@ class SplitFS(FileSystemAPI):
         if not F.writable(desc.flags):
             raise PermissionFSError(f"fd {fd} not open for writing")
         if desc.flags & F.O_APPEND:
+            self._refresh_size(desc.ufile)
             desc.offset = desc.ufile.size
         n = self._do_write(desc, data, desc.offset)
         desc.offset += n
@@ -648,7 +672,8 @@ class SplitFS(FileSystemAPI):
     def _stage_data(self, ufile: UFile, data: bytes, offset: int, op: int) -> None:
         """Route bytes to staging, extending the active run when the write
         continues it (both appends and strict-mode sequential overwrites)."""
-        with self.clock.obs.span("usplit.stage_data", cat="staging"):
+        with self.machine.lock(f"usplit.i{self.instance_id}.staging"), \
+                self.clock.obs.span("usplit.stage_data", cat="staging"):
             self._stage_data_locked(ufile, data, offset, op)
 
     def _stage_data_locked(self, ufile: UFile, data: bytes, offset: int,
@@ -928,6 +953,7 @@ class SplitFS(FileSystemAPI):
         elif whence == F.SEEK_CUR:
             pos = desc.offset + offset
         elif whence == F.SEEK_END:
+            self._refresh_size(desc.ufile)
             pos = desc.ufile.size + offset
         else:
             raise InvalidArgumentFSError(f"bad whence {whence}")
@@ -964,6 +990,7 @@ class SplitFS(FileSystemAPI):
         ino = self.path_cache.get(path)
         if ino is not None and ino in self.files:
             # Served from the user-space attribute cache.
+            self._refresh_size(self.files[ino])
             st = self.kfs._stat_inode(self.kfs.inodes[ino])
             st.st_size = self.files[ino].size
             return st
@@ -972,6 +999,7 @@ class SplitFS(FileSystemAPI):
     def fstat(self, fd: int) -> Stat:
         self._intercept()
         desc = self._desc(fd)
+        self._refresh_size(desc.ufile)
         st = self.kfs._stat_inode(self.kfs.inodes[desc.ufile.ino])
         st.st_size = desc.ufile.size
         return st

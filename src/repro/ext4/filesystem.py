@@ -128,7 +128,7 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
 
         fs.alloc = ExtentAllocator(
             fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start,
-            faults=machine.faults,
+            faults=machine.faults, lock=machine.lock(f"{fs.SPAN_PREFIX}.alloc"),
         )
         if machine.ras is not None:
             machine.ras.forget_all()
@@ -200,7 +200,7 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
 
         fs.alloc = ExtentAllocator(
             total - data_start, clock=fs.clock, first_block=data_start,
-            faults=machine.faults,
+            faults=machine.faults, lock=machine.lock(f"{fs.SPAN_PREFIX}.alloc"),
         )
         if ras_replica_start:
             fs.alloc.reserve(ras_replica_start, 1 + max_inodes)
@@ -245,12 +245,14 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
 
     def _init_journal(self, jstart: int, jblocks: int) -> None:
         self.journal = Journal(self.pm, jstart, jblocks)
+        self.journal.lock = self.machine.lock("jbd2")
         self.journal.format()
         self.journal.on_reset = self._flush_quarantine
         self.machine.metrics.register_source("journal.jbd2", self.journal.stats)
 
     def _recover_journal(self, jstart: int, jblocks: int) -> None:
         self.journal = Journal(self.pm, jstart, jblocks)
+        self.journal.lock = self.machine.lock("jbd2")
         self.journal.recover()
         self.journal.on_reset = self._flush_quarantine
         self.machine.metrics.register_source("journal.jbd2", self.journal.stats)
@@ -396,14 +398,17 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
         self.free_inos.append(inode.ino)
 
     def _new_inode(self, is_dir: bool, mode: int) -> Inode:
-        if not self.free_inos:
-            raise NoSpaceFSError("inode table full")
-        ino = self.free_inos.pop()
-        inode = Inode(ino=ino, mode=mode, is_dir=is_dir, nlink=2 if is_dir else 1)
-        self.inodes[ino] = inode
-        if is_dir:
-            self.dirs[ino] = DirData()
-        self.clock.charge_cpu(C.EXT4_CREATE_CPU_NS)
+        # The inode-allocator lock serialises concurrent creators on the
+        # free-ino list (ext4's per-group ialloc lock, collapsed to one).
+        with self.machine.lock(f"{self.SPAN_PREFIX}.ialloc"):
+            if not self.free_inos:
+                raise NoSpaceFSError("inode table full")
+            ino = self.free_inos.pop()
+            inode = Inode(ino=ino, mode=mode, is_dir=is_dir, nlink=2 if is_dir else 1)
+            self.inodes[ino] = inode
+            if is_dir:
+                self.dirs[ino] = DirData()
+            self.clock.charge_cpu(C.EXT4_CREATE_CPU_NS)
         return inode
 
     def _release_inode(self, ino: int) -> None:

@@ -25,6 +25,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..kernel.sched import NULL_LOCK
 from ..pmem import constants as C
 from ..pmem.device import PersistentMemory
 from ..pmem.timing import Category
@@ -89,6 +90,11 @@ class Journal:
         #: Invoked whenever the journal region resets (checkpoint/recovery);
         #: the owning FS uses it to release revoke-quarantined blocks.
         self.on_reset = None
+        #: The journal commit lock (jbd2's j_state/commit serialisation): the
+        #: owning FS replaces this with a machine-backed
+        #: :class:`~repro.kernel.sched.SimLock` so concurrent committers
+        #: serialise (and their wait shows up in ``sched.lock.*``).
+        self.lock = NULL_LOCK
 
     # -- addresses --------------------------------------------------------------
 
@@ -118,7 +124,7 @@ class Journal:
         (via the journal) and lazily written back in place."""
         if not txn:
             return
-        with self.pm.clock.obs.span("jbd2.commit", cat="journal"):
+        with self.lock, self.pm.clock.obs.span("jbd2.commit", cat="journal"):
             self._commit_locked(txn)
 
     def _commit_locked(self, txn: Transaction) -> None:
@@ -165,7 +171,7 @@ class Journal:
 
     def _checkpoint(self) -> None:
         """Make in-place writebacks durable and restart the journal region."""
-        with self.pm.clock.obs.span("jbd2.checkpoint", cat="journal"):
+        with self.lock, self.pm.clock.obs.span("jbd2.checkpoint", cat="journal"):
             self._checkpoint_locked()
 
     def _checkpoint_locked(self) -> None:
@@ -188,7 +194,7 @@ class Journal:
         commit record is present and checksums correctly.  Returns the number
         of transactions replayed.  Leaves the journal reset and ready.
         """
-        with self.pm.clock.obs.span("jbd2.recover", cat="journal"):
+        with self.lock, self.pm.clock.obs.span("jbd2.recover", cat="journal"):
             return self._recover_locked()
 
     def _recover_locked(self) -> int:

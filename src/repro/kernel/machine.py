@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Dict, Optional
 
 from ..obs import MetricsRegistry, NULL_OBSERVER
 from ..pmem.cache import CrashPolicy
 from ..pmem.device import PersistentMemory, VolatileMemory
 from ..pmem.faults import FaultInjector
 from ..pmem.timing import SimClock
+from .process import FIRST_PID, SharedMemoryStore
 from .vm import VirtualMemory
 
 #: Default device size for tests and examples (256 MB).
@@ -56,12 +57,55 @@ class Machine:
         #: global — so a forked machine replays the exact ids a from-scratch
         #: replay would hand out, and ids stay unique within one image.
         self._next_instance_id = 0
+        #: Machine-scoped pid source (same replay-determinism contract as
+        #: instance ids: pids land in /dev/shm key names, so they must not
+        #: drift with unrelated machines in the same interpreter).
+        self._next_pid = FIRST_PID
+        #: Machine-wide simulated /dev/shm (U-Split execve state).  One per
+        #: machine, shared by every process on it — and *copied* on fork so
+        #: sibling machines never alias blobs.
+        self.shm = SharedMemoryStore()
+        #: Optional :class:`~repro.kernel.sched.Scheduler`; ``None`` (the
+        #: default) means single-client serial execution and makes every
+        #: :class:`~repro.kernel.sched.SimLock` a free no-op.
+        self.sched = None
+        self._locks: Dict[str, "SimLock"] = {}
 
     def next_instance_id(self) -> int:
         """The next machine-scoped component instance id (see above)."""
         iid = self._next_instance_id
         self._next_instance_id += 1
         return iid
+
+    def next_pid(self) -> int:
+        """The next machine-scoped pid (see above)."""
+        pid = self._next_pid
+        self._next_pid += 1
+        return pid
+
+    def lock(self, name: str) -> "SimLock":
+        """Get-or-create the named simulated lock (see kernel/sched.py)."""
+        lk = self._locks.get(name)
+        if lk is None:
+            from .sched import SimLock
+
+            lk = self._locks[name] = SimLock(name, self)
+        return lk
+
+    def sharded_lock(self, name: str, by: str = "cpu"):
+        """A lock family sharded per CPU (``by="cpu"``, NOVA free lists) or
+        per task (``by="task"``, Strata private logs)."""
+        from .sched import ShardedLock
+
+        return ShardedLock(name, self, by=by)
+
+    def attach_scheduler(self, cpus: int = 1, **kwargs):
+        """Attach (and return) a discrete-event scheduler with ``cpus``
+        simulated CPUs; replaces any previous scheduler."""
+        from .sched import Scheduler
+
+        self.sched = Scheduler(self, cpus, **kwargs)
+        return self.sched
 
     @property
     def obs(self):
@@ -155,6 +199,14 @@ class Machine:
             child._crash_rng = None
         child.crashes = self.crashes
         child._next_instance_id = self._next_instance_id
+        child._next_pid = self._next_pid
+        # Independent /dev/shm: blobs written on one machine after the fork
+        # must never surface on its siblings.
+        child.shm = SharedMemoryStore(files=dict(self.shm.files))
+        # The scheduler and lock table are runtime machinery, not machine
+        # state: crash exploration runs the child serially.
+        child.sched = None
+        child._locks = {}
         child.ras = None
         child.metrics = MetricsRegistry()
         child.metrics.register_source("pmem.device", child.pm.stats)

@@ -14,7 +14,15 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-_pid_counter = itertools.count(100)
+#: First pid a machine hands out (init-ish pids below are never allocated).
+FIRST_PID = 100
+
+# Interpreter-global fallback for machine-less unit constructions only.
+# Every real code path allocates pids through ``Machine.next_pid()`` —
+# a module-level counter drifts across ``Machine.fork()`` children and
+# repeated runs in one interpreter, which breaks replay determinism for
+# the /dev/shm keys U-Split derives from pids.
+_pid_counter = itertools.count(1 << 20)
 
 
 @dataclass
@@ -38,10 +46,25 @@ class SharedMemoryStore:
 
 
 class Process:
-    """A simulated process; carries the pid U-Split keys its shm state by."""
+    """A simulated process; carries the pid U-Split keys its shm state by.
 
-    def __init__(self, pid: Optional[int] = None, parent: Optional["Process"] = None):
-        self.pid = pid if pid is not None else next(_pid_counter)
+    Pass ``machine`` so the pid comes from the machine-scoped counter
+    (replay-deterministic and preserved across ``Machine.fork``).  A child
+    inherits its parent's machine.  Without either, an interpreter-global
+    fallback counter is used — acceptable only in isolated unit tests.
+    """
+
+    def __init__(self, pid: Optional[int] = None,
+                 parent: Optional["Process"] = None, machine=None):
+        if machine is None and parent is not None:
+            machine = parent.machine
+        self.machine = machine
+        if pid is not None:
+            self.pid = pid
+        elif machine is not None:
+            self.pid = machine.next_pid()
+        else:
+            self.pid = next(_pid_counter)
         self.parent = parent
         self.alive = True
 

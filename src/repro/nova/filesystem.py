@@ -125,7 +125,7 @@ class NovaFS(FileSystemAPI, KernelCosts):
         fs.data_start = fs.itable_start + itable_blocks
         fs.alloc = ExtentAllocator(
             fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start,
-            faults=machine.faults,
+            faults=machine.faults, lock=machine.sharded_lock("nova.alloc", by="cpu"),
         )
         ras_replica_start = 0
         if machine.ras is not None:
@@ -176,7 +176,7 @@ class NovaFS(FileSystemAPI, KernelCosts):
                 replica=(rs + 1) * C.BLOCK_SIZE if rs else None)
         fs.alloc = ExtentAllocator(
             total - data_start, clock=fs.clock, first_block=data_start,
-            faults=machine.faults,
+            faults=machine.faults, lock=machine.sharded_lock("nova.alloc", by="cpu"),
         )
         if ras_replica_start:
             fs.alloc.reserve(ras_replica_start, 1 + itable_blocks)
@@ -263,8 +263,14 @@ class NovaFS(FileSystemAPI, KernelCosts):
     GC_THRESHOLD_PAGES = 16
 
     def _log_append(self, inode: NovaInode, entry: "L.LogEntry") -> None:
-        """Append one entry and persist the tail: 2 lines, 2 fences."""
-        with self.clock.obs.span("nova.log_append", cat="journal"):
+        """Append one entry and persist the tail: 2 lines, 2 fences.
+
+        Serialised per inode (NOVA's per-inode log mutex): appenders to
+        *different* inodes never contend, appenders to a shared directory
+        log do.
+        """
+        with self.machine.lock(f"nova.log.ino{inode.ino}"), \
+                self.clock.obs.span("nova.log_append", cat="journal"):
             self._log_append_locked(inode, entry)
 
     def _log_append_locked(self, inode: NovaInode, entry: "L.LogEntry") -> None:

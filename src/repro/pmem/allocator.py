@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from . import constants as C
+from ..kernel.sched import NULL_LOCK
 from ..posix.errors import NoSpaceFSError
 from .timing import SimClock
 
@@ -52,6 +53,7 @@ class ExtentAllocator:
         clock: Optional[SimClock] = None,
         first_block: int = 0,
         faults=None,
+        lock=None,
     ) -> None:
         if total_blocks <= 0:
             raise ValueError("total_blocks must be positive")
@@ -61,6 +63,10 @@ class ExtentAllocator:
         #: Optional :class:`~repro.pmem.faults.FaultInjector` consulted before
         #: every allocation (forced-ENOSPC experiments).
         self.faults = faults
+        #: The allocator lock: kernel FSes hand in a machine-backed SimLock
+        #: (or a per-CPU sharded family for NOVA-style free lists) so
+        #: concurrent allocations serialise on the scheduler's timeline.
+        self.lock = lock if lock is not None else NULL_LOCK
         # Sorted, non-overlapping, coalesced free extents.
         self._free: List[Extent] = [Extent(first_block, total_blocks)]
         self._free_blocks = total_blocks
@@ -68,13 +74,17 @@ class ExtentAllocator:
     # -- accounting ------------------------------------------------------------
 
     def _charge(self) -> None:
-        if self.clock is not None:
-            obs = self.clock.obs
-            if obs.enabled:
-                with obs.span("pmem.alloc", cat="alloc"):
+        # The lock brackets the charged allocator work, so under the
+        # scheduler its hold time equals the allocation's CPU cost and
+        # concurrent allocators queue on it.
+        with self.lock:
+            if self.clock is not None:
+                obs = self.clock.obs
+                if obs.enabled:
+                    with obs.span("pmem.alloc", cat="alloc"):
+                        self.clock.charge_cpu(C.ALLOC_CPU_NS)
+                else:
                     self.clock.charge_cpu(C.ALLOC_CPU_NS)
-            else:
-                self.clock.charge_cpu(C.ALLOC_CPU_NS)
         if self.faults is not None:
             self.faults.on_alloc()
 

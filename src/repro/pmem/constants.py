@@ -114,6 +114,28 @@ ALLOC_CPU_NS = 600.0
 KERNEL_LOCK_NS = 60.0
 
 # ---------------------------------------------------------------------------
+# Scheduler model (discrete-event multi-CPU machine, kernel/sched.py)
+# ---------------------------------------------------------------------------
+
+#: Direct cost of a context switch on one CPU: register/FPU state save and
+#: restore, runqueue bookkeeping, and the first-order cache/TLB disturbance
+#: amortised into a single figure (Li et al. measure 1-3 us once cache
+#: pollution is included; we charge the low end since tasks here share the
+#: FS working set).
+SCHED_CONTEXT_SWITCH_NS = 1200.0
+
+#: Cost of an inter-processor interrupt on the receiving CPU (wakeup or
+#: cache-line ownership transfer on a cross-CPU lock handoff): IPI delivery,
+#: interrupt entry/exit, and the cache-coherence round trip.
+SCHED_IPI_NS = 400.0
+
+#: Cooperative timeslice: a dispatched task keeps its CPU across syscall
+#: boundaries until it has consumed this much simulated time (or exits), so
+#: context switches amortise over a slice instead of firing at every
+#: syscall.  Tests that want per-syscall interleaving pass ``quantum_ns=0``.
+SCHED_QUANTUM_NS = 10000.0
+
+# ---------------------------------------------------------------------------
 # ext4-DAX path costs (calibrated against Table 1 / Table 6)
 # ---------------------------------------------------------------------------
 

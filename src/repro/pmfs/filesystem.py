@@ -48,11 +48,13 @@ class PmfsFS(Ext4DaxFS):
     def _init_journal(self, jstart: int, jblocks: int) -> None:
         self.journal = None  # type: ignore[assignment]
         self.undo = UndoJournal(self.pm, jstart, jblocks)
+        self.undo.lock = self.machine.lock("pmfs.journal")
         self.undo.format()
 
     def _recover_journal(self, jstart: int, jblocks: int) -> None:
         self.journal = None  # type: ignore[assignment]
         self.undo = UndoJournal(self.pm, jstart, jblocks)
+        self.undo.lock = self.machine.lock("pmfs.journal")
         self.undo.recover()
 
     # -- metadata persistence: immediate, fine-grained, undo-logged -----------

@@ -20,6 +20,7 @@ import struct
 import zlib
 from typing import List, Tuple
 
+from ..kernel.sched import NULL_LOCK
 from ..pmem import constants as C
 from ..pmem.device import PersistentMemory
 from ..pmem.timing import Category
@@ -54,6 +55,11 @@ class UndoJournal:
         self.gen = 1
         self._tx_depth = 0
         self._tx_records = 0
+        #: The global journal lock (PMFS has one undo journal per mount);
+        #: the owning FS replaces this with a machine-backed SimLock.  Held
+        #: across a whole begin/commit transaction — reentrant, so nested
+        #: brackets and per-update acquires collapse into the outermost one.
+        self.lock = NULL_LOCK
 
     def format(self) -> None:
         self.gen = 1
@@ -74,6 +80,7 @@ class UndoJournal:
         operation rolls *all* of them back — real PMFS journals a whole
         metadata operation atomically, not each touched structure.
         """
+        self.lock.acquire()
         self._tx_depth += 1
 
     def commit(self) -> None:
@@ -85,6 +92,7 @@ class UndoJournal:
             self._persist_done(self.gen)
             self.gen += 1
             self._tx_records = 0
+        self.lock.release()
 
     def apply_update(self, addr: int, new_content: bytes) -> int:
         """Atomically update ``[addr, addr+len)`` in place.
@@ -96,7 +104,7 @@ class UndoJournal:
         one, the records accumulate until the outermost commit.  Returns
         lines changed.
         """
-        with self.pm.clock.obs.span("pmfs.undo_update", cat="journal"):
+        with self.lock, self.pm.clock.obs.span("pmfs.undo_update", cat="journal"):
             return self._apply_update_locked(addr, new_content)
 
     def _apply_update_locked(self, addr: int, new_content: bytes) -> int:
@@ -141,7 +149,7 @@ class UndoJournal:
 
         Returns the number of lines rolled back.
         """
-        with self.pm.clock.obs.span("pmfs.undo_recover", cat="journal"):
+        with self.lock, self.pm.clock.obs.span("pmfs.undo_recover", cat="journal"):
             return self._recover_locked()
 
     def _recover_locked(self) -> int:

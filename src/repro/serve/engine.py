@@ -77,6 +77,11 @@ class ServeConfig:
     backoff_cap_us: float = 800.0
     backpressure_threshold: float = 0.5  # EWMA stall fraction that trips it
     backpressure_factor: int = 4  # admission-limit divisor while tripped
+    #: Number of serve CPUs: the FIFO becomes an M-server queue (one server
+    #: per CPU) so capacity scales with cores.  At 1 (the default) the
+    #: engine's arithmetic reduces exactly to the legacy single-server
+    #: queue, keeping fixed-seed reports bit-identical.
+    cpus: int = 1
     #: Attach the token-bucket shared-bandwidth device model (off by
     #: default, like everywhere else in the repo).
     bandwidth: bool = False
@@ -138,6 +143,8 @@ class ServeEngine:
             raise ValueError(f"unknown system {config.system!r}")
         if config.arrival not in ("poisson", "bursty"):
             raise ValueError(f"unknown arrival process {config.arrival!r}")
+        if config.cpus < 1:
+            raise ValueError("need at least one serve CPU")
         self.cfg = config
         seed = config.seed
         # Independent seeded streams; the jitter RNG is engine-owned so
@@ -180,7 +187,9 @@ class ServeEngine:
             for _ in range(probe_ops):
                 workload.execute(ctx, workload.next_request())
         mean_ns = acct.total_ns / probe_ops
-        return 1e9 / mean_ns if mean_ns else float("inf")
+        per_server = 1e9 / mean_ns if mean_ns else float("inf")
+        # M servers drain M times faster (service times are CPU-bound here).
+        return per_server * self.cfg.cpus
 
     # -- the event loop -------------------------------------------------------
 
@@ -220,8 +229,16 @@ class ServeEngine:
         bw0_stall = bw.stall_ns if bw is not None else 0.0
         bw0_ops = bw.stalled_ops if bw is not None else 0
         bw0_bytes = bw.bytes_acquired if bw is not None else 0.0
-        inflight: List[float] = []  # completion times, FIFO-monotone
-        head = 0  # drained prefix of `inflight` (deque semantics, O(1) amort.)
+        # In-flight completion times (admission control).  A min-heap: with
+        # M servers completions are not FIFO-monotone any more — the heap
+        # drains whichever completes first.  At cpus=1 pushes are already
+        # sorted, so pop order (and every derived count) matches the old
+        # monotone-list code exactly.
+        inflight: List[float] = []
+        # Per-server virtual free times (the M-server queue): a request
+        # starts on the earliest-free server.  At cpus=1 this single slot
+        # tracks precisely what `inflight[-1]` used to.
+        servers: List[float] = [0.0] * cfg.cpus
         pressure = 0.0
         end_time = 0.0
 
@@ -233,18 +250,15 @@ class ServeEngine:
         while events:
             t, seq, rid, attempt = heapq.heappop(events)
             counters.attempts += 1
-            while head < len(inflight) and inflight[head] <= t:
-                head += 1
-            if head > 256:  # compact the drained prefix
-                del inflight[:head]
-                head = 0
+            while inflight and inflight[0] <= t:
+                heapq.heappop(inflight)
 
             # Admission control, clamped under device backpressure.
             limit = cfg.queue_limit
             clamped = bw is not None and pressure >= cfg.backpressure_threshold
             if clamped:
                 limit = max(1, cfg.queue_limit // cfg.backpressure_factor)
-            if len(inflight) - head >= limit:
+            if len(inflight) >= limit:
                 counters.rejections += 1
                 if clamped:
                     counters.backpressure_rejections += 1
@@ -259,14 +273,14 @@ class ServeEngine:
                 continue
 
             counters.admitted += 1
-            server_free = inflight[-1] if head < len(inflight) else t
-            start = max(t, server_free)
+            start = max(t, servers[0])
             deadline = arrival0[rid] + deadline_ns
             if start >= deadline:
                 # Client gave up while we were queued: discard, no dead work.
                 counters.timeouts_queue += 1
                 terminal(rid, "timeout")
-                inflight.append(start)
+                heapq.heappush(inflight, start)
+                heapq.heapreplace(servers, start)
                 end_time = max(end_time, start)
                 continue
 
@@ -282,8 +296,18 @@ class ServeEngine:
                 except FSError as exc:
                     err = exc
             service = acct.total_ns
-            end = clock.now_ns - origin
-            inflight.append(end)
+            if cfg.cpus == 1:
+                # Bit-exact legacy arithmetic: the idle charge above pinned
+                # the clock to origin + start, so this equals start + service
+                # up to the clock's own float accumulation order.
+                end = clock.now_ns - origin
+            else:
+                # With M servers the machine clock is aggregate CPU work
+                # (other servers' service charged since origin), so the
+                # completion instant lives on the virtual timeline.
+                end = start + service
+            heapq.heappush(inflight, end)
+            heapq.heapreplace(servers, end)
             end_time = max(end_time, end)
             if bw is not None and service > 0:
                 frac = (bw.stall_ns - stall_before) / service

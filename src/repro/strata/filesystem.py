@@ -123,7 +123,7 @@ class StrataFS(FileSystemAPI, KernelCosts):
         machine.pm.poke(fs._log_addr(0), b"\x00" * C.BLOCK_SIZE)
         fs.alloc = ExtentAllocator(
             fs.total_blocks - fs.data_start, clock=fs.clock, first_block=fs.data_start,
-            faults=machine.faults,
+            faults=machine.faults, lock=machine.lock("strata.alloc"),
         )
         root = Inode(ino=ROOT_INO, mode=0o755, is_dir=True, nlink=2)
         fs.inodes[ROOT_INO] = root
@@ -151,7 +151,7 @@ class StrataFS(FileSystemAPI, KernelCosts):
         fs.data_start = (itable_start + max_inodes + hp - 1) // hp * hp
         fs.alloc = ExtentAllocator(
             total - fs.data_start, clock=fs.clock, first_block=fs.data_start,
-            faults=machine.faults,
+            faults=machine.faults, lock=machine.lock("strata.alloc"),
         )
         fs.free_inos = []
 
@@ -200,8 +200,14 @@ class StrataFS(FileSystemAPI, KernelCosts):
         return self.config.log_blocks * C.BLOCK_SIZE
 
     def _log_append(self, record: L.Record, payload: bytes = b"") -> int:
-        """Append one record; returns the log byte offset of the payload."""
-        with self.clock.obs.span("strata.log_append", cat="journal"):
+        """Append one record; returns the log byte offset of the payload.
+
+        The log lock is sharded per task: Strata logs are process-private,
+        so concurrent appenders never contend on each other's logs — only
+        the digest into the shared area (``strata.digest``) serialises.
+        """
+        with self.machine.sharded_lock("strata.log", by="task"), \
+                self.clock.obs.span("strata.log_append", cat="journal"):
             return self._log_append_locked(record, payload)
 
     def _log_append_locked(self, record: L.Record, payload: bytes = b"") -> int:
@@ -355,7 +361,8 @@ class StrataFS(FileSystemAPI, KernelCosts):
         gives Strata its append write-amplification), shared metadata is
         persisted, and the log is reset.
         """
-        with self.clock.obs.span("strata.digest", cat="journal"):
+        with self.machine.lock("strata.digest"), \
+                self.clock.obs.span("strata.digest", cat="journal"):
             self._digest_locked()
 
     def _digest_locked(self) -> None:

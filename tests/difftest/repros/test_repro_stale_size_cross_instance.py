@@ -1,0 +1,38 @@
+"""Minimized concurrent-sweep reproducer: stale cached size across U-Split instances (§3.5).
+
+Found by the scheduler-interleaved sweep (two U-Split instances sharing one
+machine, per-syscall quantum): instance B cached ``ufile.size`` when it
+opened the file, instance A then appended and relinked, and B kept serving
+the stale size from fstat/pread/SEEK_END through its already-open
+descriptor.  Minimised by hand to the four-step interleaving below (the
+cross-instance shape is outside ``run_differential``'s single-instance
+vocabulary, so this replays directly).  Fixed by ``SplitFS._refresh_size``
+adopting committed-size growth at every read boundary.
+"""
+
+import pytest
+
+from repro.core import Mode, SplitFS
+from repro.ext4.filesystem import Ext4DaxFS
+from repro.kernel.machine import Machine
+from repro.posix import flags as F
+
+PM = 96 * 1024 * 1024
+
+
+@pytest.mark.parametrize("mode", [Mode.POSIX, Mode.SYNC, Mode.STRICT])
+def test_minimized_reproducer(mode):
+    m = Machine(PM)
+    kfs = Ext4DaxFS.format(m)
+    a = SplitFS(kfs, mode=mode)
+    b = SplitFS(kfs, mode=mode)
+
+    afd = a.open("/f0", F.O_CREAT | F.O_RDWR)  # step 1: A creates
+    bfd = b.open("/f0", F.O_RDWR)              # step 2: B opens, caches size 0
+    a.write(afd, b"x" * 100)                   # step 3: A appends...
+    a.fsync(afd)                               #         ...and relinks
+
+    # step 4: B's stale descriptor must observe the committed growth.
+    assert b.fstat(bfd).st_size == 100
+    assert b.lseek(bfd, 0, F.SEEK_END) == 100
+    assert b.pread(bfd, 100, 0) == b"x" * 100

@@ -1,6 +1,9 @@
 """Process model and shared-memory store tests."""
 
-from repro.kernel.process import Process, SharedMemoryStore
+from repro.kernel.machine import Machine
+from repro.kernel.process import FIRST_PID, Process, SharedMemoryStore
+
+PM = 64 * 1024 * 1024
 
 
 class TestProcess:
@@ -19,6 +22,76 @@ class TestProcess:
 
     def test_repr(self):
         assert "pid=" in repr(Process(pid=3))
+
+
+class TestMachineScopedPids:
+    def test_first_pid(self):
+        assert Process(machine=Machine(PM)).pid == FIRST_PID
+
+    def test_sequential_per_machine(self):
+        m = Machine(PM)
+        assert [Process(machine=m).pid for _ in range(3)] == [
+            FIRST_PID, FIRST_PID + 1, FIRST_PID + 2]
+
+    def test_fresh_machines_restart_numbering(self):
+        """Replay determinism: pid allocation must not leak across machines
+        through interpreter-global state."""
+        assert Process(machine=Machine(PM)).pid == Process(machine=Machine(PM)).pid
+
+    def test_fork_inherits_machine(self):
+        m = Machine(PM)
+        p = Process(machine=m)
+        c = p.fork()
+        assert c.machine is m
+        assert c.pid == FIRST_PID + 1
+
+    def test_machine_fork_equivalence(self):
+        """Regression for the module-global pid counter: a CoW-forked
+        machine must allocate the same next pids as a fresh machine
+        replaying the same history, and diverging the parent afterwards
+        must not perturb the child's allocator."""
+        parent = Machine(PM)
+        for _ in range(3):
+            Process(machine=parent)
+        child = parent.fork()
+        Process(machine=parent)  # diverge the parent
+        replay = Machine(PM)
+        for _ in range(3):
+            Process(machine=replay)
+        assert Process(machine=child).pid == Process(machine=replay).pid
+
+    def test_fallback_counter_out_of_machine_range(self):
+        """Machine-less pids live far above any machine-scoped pid, so the
+        two namespaces can never collide in mixed tests."""
+        m = Machine(PM)
+        for _ in range(50):
+            assert Process().pid > Process(machine=m).pid
+
+
+class TestMachineShmIndependence:
+    def test_fork_copies_blobs(self):
+        m = Machine(PM)
+        m.shm.write("k", b"orig")
+        assert m.fork().shm.read("k") == b"orig"
+
+    def test_no_aliasing_after_fork(self):
+        """Regression guard: CoW-forked machines must not share the shm
+        blob table — each side's writes stay invisible to the other."""
+        m = Machine(PM)
+        m.shm.write("k", b"orig")
+        child = m.fork()
+        m.shm.write("k", b"parent")
+        child.shm.write("j", b"child")
+        assert child.shm.read("k") == b"orig"
+        assert m.shm.read("j") is None
+        assert m.shm.read("k") == b"parent"
+
+    def test_crash_in_child_spares_parent(self):
+        m = Machine(PM)
+        m.shm.write("k", b"orig")
+        child = m.fork()
+        child.shm.crash()
+        assert m.shm.read("k") == b"orig"
 
 
 class TestSharedMemoryStore:
