@@ -75,10 +75,14 @@ def build(system: str, pm_size: int = DEFAULT_PM,
           splitfs_config: Optional[SplitFSConfig] = None,
           ras: bool = False,
           observer=None,
+          device_profile=None,
+          numa_remote: bool = False,
           ) -> Tuple[Machine, FileSystemAPI]:
     return make_filesystem(system, pm_size=pm_size,
                            splitfs_config=splitfs_config, ras=ras,
-                           observer=observer)
+                           observer=observer,
+                           device_profile=device_profile,
+                           numa_remote=numa_remote)
 
 
 def measure(
@@ -90,6 +94,8 @@ def measure(
     splitfs_config: Optional[SplitFSConfig] = None,
     ras: bool = False,
     observer=None,
+    device_profile=None,
+    numa_remote: bool = False,
 ) -> Measurement:
     """Run ``setup`` (uncharged to the measurement), then measure ``body``.
 
@@ -102,7 +108,8 @@ def measure(
     construction.
     """
     machine, fs = build(system, pm_size, splitfs_config, ras=ras,
-                        observer=observer)
+                        observer=observer, device_profile=device_profile,
+                        numa_remote=numa_remote)
     t0 = time.perf_counter()
     ctx = setup(fs)
     t1 = time.perf_counter()
@@ -148,6 +155,8 @@ def io_pattern_workload(
     seed: int = 5,
     ras: bool = False,
     observer=None,
+    device_profile=None,
+    numa_remote: bool = False,
 ) -> Measurement:
     """The Figure 4 micro-benchmarks: one pattern over one file.
 
@@ -199,14 +208,19 @@ def io_pattern_workload(
         return nops
 
     return measure(system, f"{pattern}-{op_size}B", setup, body,
-                   splitfs_config=splitfs_config, ras=ras, observer=observer)
+                   splitfs_config=splitfs_config, ras=ras, observer=observer,
+                   device_profile=device_profile, numa_remote=numa_remote)
 
 
 def append_4k_workload(system: str, total_bytes: int = 8 * 1024 * 1024,
-                       fsync_every: int = 100, observer=None) -> Measurement:
+                       fsync_every: int = 100, observer=None, seed: int = 5,
+                       device_profile=None,
+                       numa_remote: bool = False) -> Measurement:
     """Table 1: the 4K-append workload (paper used 128 MB; scaled)."""
     return io_pattern_workload(system, "append", file_bytes=total_bytes,
-                               fsync_every=fsync_every, observer=observer)
+                               fsync_every=fsync_every, observer=observer,
+                               seed=seed, device_profile=device_profile,
+                               numa_remote=numa_remote)
 
 
 # ---------------------------------------------------------------------------
@@ -260,6 +274,8 @@ def ycsb_workload(
     operation_count: int = 1500,
     pm_size: int = DEFAULT_PM,
     observer=None,
+    device_profile=None,
+    numa_remote: bool = False,
 ) -> Measurement:
     """YCSB on the LevelDB model.  Load phases measure the load itself;
     run phases perform an (unmeasured) load first."""
@@ -286,7 +302,8 @@ def ycsb_workload(
 
     name = "ycsb-load" if phase == "load" else f"ycsb-run{phase}"
     return measure(system, name, setup, body, pm_size=pm_size,
-                   observer=observer)
+                   observer=observer, device_profile=device_profile,
+                   numa_remote=numa_remote)
 
 
 def redis_workload(system: str, n_sets: int = 3000,

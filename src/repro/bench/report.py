@@ -119,6 +119,36 @@ def render_latency_load_table(title: str, points: Iterable) -> str:
         rows)
 
 
+def render_sensitivity_table(results: Dict[str, Dict[str, object]],
+                             total_mb: int, seed: int) -> str:
+    """The Table-2-style device-model sensitivity table.
+
+    ``results`` is ``{profile label: {system: Measurement}}`` (see
+    :func:`~repro.bench.sensitivity.run_sensitivity`).  One row per system,
+    one ns/op column per profile, plus an ``eadr gain`` column (optane ns/op
+    over eadr ns/op — how much of a system's cost was flush tax) when both
+    profiles are present.  Byte-deterministic for a fixed seed.
+    """
+    labels = list(results)
+    systems = list(next(iter(results.values())))
+    gain = "optane" in results and "eadr" in results
+    headers = ["system"] + [f"{label} ns/op" for label in labels]
+    if gain:
+        headers.append("eadr gain")
+    rows = []
+    for system in systems:
+        row = [system]
+        for label in labels:
+            row.append(f"{results[label][system].ns_per_op:.0f}")
+        if gain:
+            row.append(fmt_ratio(results["optane"][system].ns_per_op
+                                 / results["eadr"][system].ns_per_op))
+        rows.append(row)
+    title = (f"Device-model sensitivity: 4K appends + fsync "
+             f"({total_mb} MB per system, seed {seed})")
+    return render_table(title, headers, rows)
+
+
 def fmt_us(ns: float) -> str:
     return f"{ns / 1000:.2f}"
 

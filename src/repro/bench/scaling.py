@@ -45,6 +45,9 @@ class ScalingPoint:
     lock_wait_ns: float
     lock_contended: int
     context_switches: int
+    #: Device-model annotation ("" = fixed-cost device, the default —
+    #: keeps existing fixed-seed reports byte-identical).
+    device: str = ""
 
     @property
     def kops_per_s(self) -> float:
@@ -84,11 +87,20 @@ def _make_instance(fs, client: int):
 
 def run_point(system: str, cpus: int, clients: int = DEFAULT_CLIENTS,
               ops: int = DEFAULT_OPS, seed: int = 7,
-              pm_size: int = DEFAULT_PM) -> ScalingPoint:
-    """Run the fixed concurrent workload for one (system, cpus) point."""
+              pm_size: int = DEFAULT_PM,
+              device_profile=None,
+              numa_remote: bool = False) -> ScalingPoint:
+    """Run the fixed concurrent workload for one (system, cpus) point.
+
+    With a ``device_profile`` attached the clients share the profile's
+    token bucket on the scheduler's virtual timeline, so the curve bends
+    where the *device* saturates rather than only where the locks do.
+    """
     if system not in SYSTEM_NAMES:
         raise ValueError(f"unknown system {system!r}")
-    machine, fs = make_filesystem(system, pm_size=pm_size)
+    machine, fs = make_filesystem(system, pm_size=pm_size,
+                                  device_profile=device_profile,
+                                  numa_remote=numa_remote)
     machine.seed = seed
     sched = machine.attach_scheduler(cpus)
     payload = bytes((i * 131 + seed) % 256 for i in range(PAYLOAD_BYTES))
@@ -110,6 +122,10 @@ def run_point(system: str, cpus: int, clients: int = DEFAULT_CLIENTS,
         lock_wait_ns=collected.get("sched.lock.wait_ns", 0.0),
         lock_contended=int(collected.get("sched.lock.contended", 0)),
         context_switches=int(collected.get("sched.cpu.context_switches", 0)),
+        device=(("" if device_profile is None and not numa_remote else
+                 (getattr(device_profile, "name", None)
+                  or device_profile or "optane")
+                 + ("+numa" if numa_remote else ""))),
     )
 
 
@@ -117,13 +133,16 @@ def run_scaling(systems: Optional[Sequence[str]] = None,
                 cpu_counts: Sequence[int] = DEFAULT_CPU_COUNTS,
                 clients: int = DEFAULT_CLIENTS, ops: int = DEFAULT_OPS,
                 seed: int = 7, pm_size: int = DEFAULT_PM,
+                device_profile=None, numa_remote: bool = False,
                 ) -> List[ScalingPoint]:
     """The full sweep: every system at every CPU count, same total work."""
     points = []
     for system in systems or SYSTEM_NAMES:
         for cpus in cpu_counts:
             points.append(run_point(system, cpus, clients=clients, ops=ops,
-                                    seed=seed, pm_size=pm_size))
+                                    seed=seed, pm_size=pm_size,
+                                    device_profile=device_profile,
+                                    numa_remote=numa_remote))
     return points
 
 
@@ -159,5 +178,8 @@ def render_scaling_report(points: Iterable[ScalingPoint]) -> str:
     any_pt = next(iter(sample.values()))
     title = (f"Scaling: throughput vs CPUs "
              f"({any_pt.clients} clients x {any_pt.total_ops // any_pt.clients}"
-             f" ops, 4K appends, fsync every {FSYNC_EVERY})")
+             f" ops, 4K appends, fsync every {FSYNC_EVERY})"
+             # Only annotate when a device model is on: the default report
+             # stays byte-identical to the committed fixed-cost output.
+             + (f" [device model {any_pt.device}]" if any_pt.device else ""))
     return render_table(title, headers, rows)

@@ -25,6 +25,7 @@ from .bench import (
 from .bench.report import render_persistence_summary, render_table
 from .factory import GUARANTEE_GROUPS, SYSTEM_NAMES
 from .pmem.constants import PM_WRITE_4K_NS
+from .pmem.devmodel import PROFILE_NAMES
 
 
 def cmd_systems(_args: argparse.Namespace) -> int:
@@ -37,17 +38,33 @@ def cmd_systems(_args: argparse.Namespace) -> int:
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
+    if args.sensitivity:
+        from .bench.report import render_sensitivity_table
+        from .bench.sensitivity import run_sensitivity
+
+        results = run_sensitivity(total_mb=args.total_mb, seed=args.seed)
+        print(render_sensitivity_table(results, args.total_mb, args.seed))
+        return 0
     rows = []
     measurements = []
     for system in ("ext4dax", "pmfs", "nova-strict", "splitfs-strict",
                    "splitfs-posix"):
-        m = append_4k_workload(system, total_bytes=args.total_mb << 20)
+        m = append_4k_workload(system, total_bytes=args.total_mb << 20,
+                               device_profile=args.device_profile,
+                               numa_remote=args.numa_remote)
         measurements.append(m)
         overhead = m.ns_per_op - PM_WRITE_4K_NS
         rows.append([system, f"{m.ns_per_op:.0f}", f"{overhead:.0f}",
                      f"{overhead / PM_WRITE_4K_NS * 100:.0f}%"])
+    title = "Table 1: 4K append software overhead (671 ns = raw PM write)"
+    # Annotate only when a device model is on: the default invocation must
+    # stay byte-identical to the committed golden.
+    if args.device_profile is not None or args.numa_remote:
+        label = (args.device_profile or "optane") + (
+            "+numa" if args.numa_remote else "")
+        title += f" [device model {label}]"
     print(render_table(
-        "Table 1: 4K append software overhead (671 ns = raw PM write)",
+        title,
         ["file system", "append ns/op", "overhead ns", "overhead %"], rows))
     if args.persistence:
         print()
@@ -177,7 +194,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         points = run_scaling(
             systems=args.systems.split(",") if args.systems else None,
             cpu_counts=tuple(int(n) for n in args.cpus_list.split(",")),
-            clients=args.clients, ops=args.ops, seed=args.seed)
+            clients=args.clients, ops=args.ops, seed=args.seed,
+            device_profile=args.device_profile,
+            numa_remote=args.numa_remote)
         print(render_scaling_report(points))
         return 0
 
@@ -334,6 +353,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         cpus=args.cpus,
         bandwidth=args.bandwidth,
+        device_profile=args.device_profile,
+        numa_remote=args.numa_remote,
     )
     if args.sweep:
         capacity, results = run_sweep(cfg)
@@ -379,6 +400,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--total-mb", type=int, default=8)
     p.add_argument("--persistence", action="store_true",
                    help="also print fence/writeback/unpersisted-line counts")
+    p.add_argument("--device-profile", default=None, choices=PROFILE_NAMES,
+                   help="attach the calibrated device model (token bucket + "
+                        "small-write curve; eadr also zeroes flush cost). "
+                        "Default: the fixed-cost device of the golden")
+    p.add_argument("--numa-remote", action="store_true",
+                   help="add NUMA-remote access penalties (implies the "
+                        "optane profile when none is named)")
+    p.add_argument("--sensitivity", action="store_true",
+                   help="instead of Table 1, render the Table-2-style "
+                        "device-model sensitivity family: every system "
+                        "under fixed/optane/eadr/dram/optane+numa")
+    p.add_argument("--seed", type=int, default=5,
+                   help="workload seed (payload bytes; default 5 matches "
+                        "the committed golden)")
 
     p = sub.add_parser("syscalls", help="Table 6: syscall latencies")
     p.add_argument("--system", action="append", choices=SYSTEM_NAMES)
@@ -486,6 +521,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="appends per client for --scaling")
     p.add_argument("--seed", type=int, default=7,
                    help="workload seed for --scaling")
+    p.add_argument("--device-profile", default=None, choices=PROFILE_NAMES,
+                   help="attach the calibrated device model for --scaling: "
+                        "clients share the profile's token bucket on the "
+                        "virtual timeline, so curves bend where the device "
+                        "saturates (default: fixed-cost device)")
+    p.add_argument("--numa-remote", action="store_true",
+                   help="NUMA-remote penalties for --scaling (implies "
+                        "optane when no profile is named)")
     p.add_argument("--repeats", type=int, default=3,
                    help="runs per workload; best wall time is kept")
     p.add_argument("--verify", action="store_true",
@@ -573,6 +616,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bandwidth", action="store_true",
                    help="attach the token-bucket shared-bandwidth device "
                         "model (off by default; makes saturation real)")
+    p.add_argument("--device-profile", default=None, choices=PROFILE_NAMES,
+                   help="attach the full calibrated device model instead "
+                        "(bucket + small-write curve + eADR economics); "
+                        "takes precedence over --bandwidth")
+    p.add_argument("--numa-remote", action="store_true",
+                   help="add NUMA-remote access penalties (implies optane "
+                        "when no profile is named)")
     p.add_argument("--sweep", action="store_true",
                    help="latency-vs-offered-load sweep around the probed "
                         "capacity instead of a single run")

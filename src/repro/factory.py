@@ -58,6 +58,8 @@ def make_filesystem(
     ras: bool = False,
     ras_config=None,
     observer=None,
+    device_profile=None,
+    numa_remote: bool = False,
 ) -> Tuple[Machine, FileSystemAPI]:
     """Build a freshly formatted file system of the named kind.
 
@@ -67,12 +69,22 @@ def make_filesystem(
     on the machine before formatting.  ``observer`` (a
     :class:`~repro.obs.Observer`) binds span tracing and latency
     attribution to the machine's clock before any setup work runs.
+    ``device_profile`` (a name from ``repro.pmem.devmodel.PROFILES`` or a
+    ``DeviceProfile``) opts the machine into the calibrated device model
+    before formatting, so the whole image — setup included — pays device
+    economics; ``numa_remote=True`` adds remote-access penalties (implies
+    the ``optane`` profile when none is named).  Both default to off: the
+    fixed-cost device of the committed goldens.
     """
     if name not in SYSTEM_NAMES:
         raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}")
     machine = machine or Machine(pm_size, observer=observer)
     if observer is not None and machine.obs is not observer:
         observer.bind(machine.clock)
+    if device_profile is not None or numa_remote:
+        machine.enable_device_model(
+            profile=device_profile if device_profile is not None else "optane",
+            numa_remote=numa_remote)
     if ras or ras_config is not None:
         machine.enable_ras(ras_config)
     if name == "ext4dax":

@@ -105,6 +105,10 @@ class Machine:
         from .sched import Scheduler
 
         self.sched = Scheduler(self, cpus, **kwargs)
+        # Mirror onto the device so an attached bandwidth bucket refills on
+        # the scheduler's virtual timeline (concurrent tasks share one
+        # device); a no-op for machines without a device model.
+        self.pm.sched = self.sched
         return self.sched
 
     @property
@@ -143,6 +147,45 @@ class Machine:
                                          fields=("stalled_ops", "stall_ns",
                                                  "bytes_acquired", "tokens"))
         return self.pm.bandwidth
+
+    def enable_device_model(self, profile="optane", numa_remote=False,
+                            model=None):
+        """Opt this machine into the first-class calibrated device model.
+
+        Strictly stronger than :meth:`enable_bandwidth`: the profile's token
+        bucket (shared-bandwidth queueing, refilled on the scheduler's
+        virtual timeline under concurrency) plus the XPLine small-write
+        curve, eADR flush economics, and optional NUMA-remote penalties.
+        ``profile`` is a name from :data:`~repro.pmem.devmodel.PROFILES` or
+        a :class:`~repro.pmem.devmodel.DeviceProfile` instance; ``model``
+        overrides with a pre-built :class:`~repro.pmem.devmodel.DeviceModel`.
+        Off by default on every machine; returns the live model.  The bucket
+        is exported as ``pmem.bw.*`` (and as the legacy ``pmem.bandwidth.*``
+        alias), NUMA counters as ``pmem.numa.*``.
+        """
+        from ..pmem.devmodel import DeviceModel
+
+        if model is None:
+            model = DeviceModel(profile=profile, numa_remote=numa_remote)
+        self.pm.model = model
+        self.pm.bandwidth = model.bandwidth
+        self.pm.sched = self.sched
+        bw_fields = ("stalled_ops", "stall_ns", "bytes_acquired", "tokens")
+        self.metrics.register_source("pmem.bw", model.bandwidth,
+                                     fields=bw_fields)
+        self.metrics.register_source("pmem.bandwidth", model.bandwidth,
+                                     fields=bw_fields)
+        self.metrics.register_source("pmem.numa", model.numa)
+        return model
+
+    def disable_device_model(self) -> None:
+        """Detach any device model/bandwidth bucket: back to fixed costs.
+
+        The off-path guard tests use this to prove attach-then-detach
+        machines charge bit-identically to never-attached ones.
+        """
+        self.pm.model = None
+        self.pm.bandwidth = None
 
     def crash(self, policy: Optional[CrashPolicy] = None,
               survivors=None) -> None:
@@ -220,4 +263,9 @@ class Machine:
             child.metrics.register_source(
                 "pmem.bandwidth", child.pm.bandwidth,
                 fields=("stalled_ops", "stall_ns", "bytes_acquired", "tokens"))
+        if child.pm.model is not None:
+            child.metrics.register_source(
+                "pmem.bw", child.pm.model.bandwidth,
+                fields=("stalled_ops", "stall_ns", "bytes_acquired", "tokens"))
+            child.metrics.register_source("pmem.numa", child.pm.model.numa)
         return child

@@ -86,6 +86,40 @@ PM_BANDWIDTH_BURST_BYTES = 1 << 20
 PM_BANDWIDTH_READ_WEIGHT = 0.25
 
 # ---------------------------------------------------------------------------
+# Device-model fidelity (pmem/devmodel.py; opt-in profiles, off by default)
+# ---------------------------------------------------------------------------
+
+#: Optane's internal write granularity: the media writes whole 256-byte
+#: 3D-XPoint lines ("XPLines"), so a store smaller than this still consumes
+#: a full line of sustained write bandwidth (van Renen et al., *PM I/O
+#: Primitives*: small random writes see a steep bandwidth penalty because
+#: the buffer turns them into read-modify-write of 256 B).  The calibrated
+#: profiles round every write's token-bucket draw up to this granularity;
+#: the fixed-cost model (no profile attached) never consults it.
+PM_XPLINE_BYTES = 256
+
+#: NUMA-remote access multipliers for PM, applied to the device-transfer
+#: portion of loads/stores when the NUMA knob is on and the accessing CPU's
+#: node differs from the device's.  Calibrated approximations of van Renen
+#: et al.'s NUMA measurements: remote PM reads lose ~40% of bandwidth
+#: (~1.65x time) and remote writes suffer harder (~2.2x) because the
+#: write-combining traffic crosses the interconnect twice.
+PM_NUMA_REMOTE_READ_MULT = 1.65
+PM_NUMA_REMOTE_WRITE_MULT = 2.2
+
+#: Default NUMA topology for the device model: two nodes, device on node 0.
+PM_NUMA_NODES = 2
+
+#: Sustained byte-rate and burst for the ``dram`` device profile — a
+#: DRAM-class device (the paper's DRAM-emulation baseline): bandwidth so
+#: far above any offered load here that contention effectively vanishes.
+#: Per-op latencies stay at the PM calibration — the profile isolates the
+#: *bandwidth* axis of the sensitivity family.
+DRAM_SUSTAINED_WRITE_BW_BYTES_PER_NS = 40.0
+DRAM_BANDWIDTH_BURST_BYTES = 4 << 20
+DRAM_BANDWIDTH_READ_WEIGHT = 0.25
+
+# ---------------------------------------------------------------------------
 # Kernel-path software costs (calibrated)
 # ---------------------------------------------------------------------------
 

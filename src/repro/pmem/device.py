@@ -72,6 +72,31 @@ class PersistentMemory:
         #: delay on stores/loads once the sustained byte-rate is exceeded.
         #: ``None`` (the default) leaves every charge untouched.
         self.bandwidth = None
+        #: Optional :class:`~repro.pmem.devmodel.DeviceModel` (set by
+        #: ``machine.enable_device_model()``); adds the calibrated
+        #: small-write curve, eADR flush economics, and NUMA penalties on
+        #: top of the token bucket.  ``None`` (the default) is the
+        #: fixed-cost device — every charge stays bit-identical.
+        self.model = None
+        #: The machine's scheduler, mirrored here by ``attach_scheduler``
+        #: so the bandwidth bucket can refill on the *virtual* timeline
+        #: under concurrency (the clock is aggregate work, not elapsed
+        #: time, once N CPUs run).  Only consulted when a bandwidth model
+        #: is attached.
+        self.sched = None
+
+    def _device_now(self) -> float:
+        """The device's notion of "now" for token-bucket refill.
+
+        Under a running scheduler this is the current task's virtual
+        instant, so concurrent tasks' draws serialize through the one
+        bucket on the timeline they actually share; serially it is the
+        machine clock, which reduces exactly to the legacy arithmetic.
+        """
+        sched = self.sched
+        if sched is not None and sched.current is not None:
+            return sched.vnow()
+        return self.clock.now_ns
 
     # -- persistence-trace hooks ------------------------------------------------
 
@@ -131,12 +156,20 @@ class PersistentMemory:
         else:
             stats.meta_bytes_written += size
         if nontemporal:
-            self.clock.charge(size * C.PM_WRITE_NS_PER_BYTE, category)
+            transfer_ns = size * C.PM_WRITE_NS_PER_BYTE
         else:
             lines = (size + C.CACHELINE_SIZE - 1) // C.CACHELINE_SIZE
-            self.clock.charge(lines * C.STORE_NS, category)
+            transfer_ns = lines * C.STORE_NS
+        self.clock.charge(transfer_ns, category)
+        model = self.model
+        if model is not None and model.is_remote(self.sched):
+            extra = transfer_ns * (model.remote_write_mult - 1.0)
+            model.numa.remote_stores += 1
+            model.numa.remote_extra_ns += extra
+            self.clock.charge(extra, category)
         if self.bandwidth is not None:
-            delay = self.bandwidth.acquire(size, self.clock.now_ns)
+            nbytes = size if model is None else model.effective_write_bytes(size)
+            delay = self.bandwidth.acquire(nbytes, self._device_now())
             if delay:
                 self.clock.charge(delay, category)
         if self.faults is not None:
@@ -156,6 +189,13 @@ class PersistentMemory:
         self._check(addr, size)
         flushed = self.domain.clwb(addr, size)
         self.stats.clwb_lines += flushed
+        model = self.model
+        if model is not None and model.eadr:
+            # eADR: the CPU caches sit inside the persistence domain, so the
+            # writeback itself costs nothing.  The domain bookkeeping above
+            # is untouched (a crash keeps exactly what it kept before) and
+            # ordering is still charged at the fence.
+            return flushed
         self.clock.charge(flushed * C.CLWB_NS, category)
         return flushed
 
@@ -200,9 +240,20 @@ class PersistentMemory:
         self.stats.loads += 1
         self.stats.bytes_read += size
         latency = C.PM_RAND_READ_LATENCY_NS if random_access else C.PM_SEQ_READ_LATENCY_NS
-        self.clock.charge(latency + size * C.PM_READ_NS_PER_BYTE, category)
+        transfer_ns = latency + size * C.PM_READ_NS_PER_BYTE
+        self.clock.charge(transfer_ns, category)
+        model = self.model
+        if model is not None and model.is_remote(self.sched):
+            extra = transfer_ns * (model.remote_read_mult - 1.0)
+            model.numa.remote_loads += 1
+            model.numa.remote_extra_ns += extra
+            self.clock.charge(extra, category)
         if self.bandwidth is not None:
-            delay = self.bandwidth.acquire_read(size, self.clock.now_ns)
+            # Reads draw through the same bucket at ``read_weight`` (Optane
+            # read bandwidth is several times write bandwidth); the XPLine
+            # round-up applies only to writes — reads of a partial line do
+            # not cost a media read-modify-write.
+            delay = self.bandwidth.acquire_read(size, self._device_now())
             if delay:
                 self.clock.charge(delay, category)
         buf = self.buf
@@ -265,8 +316,16 @@ class PersistentMemory:
         child.stats = self.stats.snapshot()
         child.faults = faults
         child.ras = None
-        child.bandwidth = (self.bandwidth.clone()
-                           if self.bandwidth is not None else None)
+        if self.model is not None:
+            child.model = self.model.clone()
+            child.bandwidth = child.model.bandwidth
+        else:
+            child.model = None
+            child.bandwidth = (self.bandwidth.clone()
+                               if self.bandwidth is not None else None)
+        # The child runs serially (crash exploration); the parent's scheduler
+        # is not its scheduler.
+        child.sched = None
         return child
 
 

@@ -16,7 +16,8 @@ device saturates*.  It combines
 """
 
 from .arrival import bursty_arrivals, poisson_arrivals
-from .engine import ServeConfig, ServeCounters, ServeEngine, ServeResult, run_sweep
+from .engine import (ServeConfig, ServeCounters, ServeEngine, ServeResult,
+                     run_sweep, saturation_knee)
 from .report import render_serve_report, render_sweep_report
 from .workload import make_workload
 
@@ -31,4 +32,5 @@ __all__ = [
     "render_serve_report",
     "render_sweep_report",
     "run_sweep",
+    "saturation_knee",
 ]

@@ -85,6 +85,16 @@ class ServeConfig:
     #: Attach the token-bucket shared-bandwidth device model (off by
     #: default, like everywhere else in the repo).
     bandwidth: bool = False
+    #: Attach the first-class calibrated device model instead: a profile
+    #: name from :data:`repro.pmem.devmodel.PROFILES` (``optane``/``eadr``/
+    #: ``dram``) or a ``DeviceProfile`` instance.  Strictly stronger than
+    #: ``bandwidth`` (bucket + small-write curve + eADR economics); takes
+    #: precedence over it when both are set.  ``None`` (default) keeps the
+    #: fixed-seed default reports bit-identical.
+    device_profile: Optional[object] = None
+    #: Add NUMA-remote access penalties (implies the ``optane`` profile
+    #: when ``device_profile`` is unset).
+    numa_remote: bool = False
     #: Record a per-request outcome map (tests; costs memory).
     track_outcomes: bool = False
 
@@ -158,7 +168,12 @@ class ServeEngine:
     def _build(self) -> Tuple[Machine, object, object]:
         cfg = self.cfg
         machine = Machine(cfg.pm_size, seed=cfg.seed)
-        if cfg.bandwidth:
+        if cfg.device_profile is not None or cfg.numa_remote:
+            machine.enable_device_model(
+                profile=(cfg.device_profile
+                         if cfg.device_profile is not None else "optane"),
+                numa_remote=cfg.numa_remote)
+        elif cfg.bandwidth:
             machine.enable_bandwidth()
         machine, fs = make_filesystem(cfg.system, pm_size=cfg.pm_size,
                                       machine=machine)
@@ -379,16 +394,37 @@ class ServeEngine:
 def run_sweep(base: ServeConfig,
               multipliers: Tuple[float, ...] = (0.25, 0.5, 0.75, 1.0,
                                                 1.25, 1.5, 2.0),
+              capacity: Optional[float] = None,
               ) -> Tuple[float, List[ServeResult]]:
     """Latency-vs-offered-load sweep around the measured service capacity.
 
     Calibrates capacity with a closed-loop probe, then runs one independent
     serve run (fresh machine, same seed) per offered-load multiple.
-    Returns ``(capacity_req_per_s, results)``.
+    Returns ``(capacity_req_per_s, results)``.  Pass ``capacity`` to pin
+    the absolute offered rates instead of probing — the knee-shift tests
+    use this to sweep a device-modelled config at the *fixed-cost* config's
+    rates, so the two curves are comparable point for point.
     """
-    capacity = ServeEngine(base).estimate_capacity()
+    if capacity is None:
+        capacity = ServeEngine(base).estimate_capacity()
     results = []
     for mult in multipliers:
         cfg = dataclasses.replace(base, offered_rate=capacity * mult)
         results.append(ServeEngine(cfg).run())
     return capacity, results
+
+
+def saturation_knee(results: List[ServeResult],
+                    threshold: float = 0.9) -> float:
+    """The saturation knee of a sweep: the lowest offered load (req/s)
+    whose goodput falls below ``threshold`` of offered.
+
+    Returns ``inf`` when no point in the sweep saturates.  Under a
+    contended-bandwidth device model the knee can only move left (or stay)
+    relative to the fixed-cost model at the same offered rates — queueing
+    delay is non-negative — which the sensitivity tests pin.
+    """
+    for r in sorted(results, key=lambda r: r.offered_req_per_s):
+        if r.goodput_req_per_s < threshold * r.offered_req_per_s:
+            return r.offered_req_per_s
+    return float("inf")

@@ -12,6 +12,17 @@ from ..bench.report import fmt_us, render_latency_load_table, render_table
 from .engine import ServeResult
 
 
+def _device_note(cfg) -> str:
+    """The device-model annotation for a config: names the profile (and the
+    NUMA knob) when one is attached, keeps the legacy bandwidth tag, and is
+    empty on the off path so default reports stay byte-identical."""
+    if cfg.device_profile is not None or cfg.numa_remote:
+        name = getattr(cfg.device_profile, "name", None) or (
+            cfg.device_profile if cfg.device_profile is not None else "optane")
+        return f"device model {name}" + ("+numa" if cfg.numa_remote else "")
+    return "bandwidth model on" if cfg.bandwidth else ""
+
+
 def render_serve_report(result: ServeResult) -> str:
     cfg = result.config
     c = result.counters
@@ -22,7 +33,7 @@ def render_serve_report(result: ServeResult) -> str:
         f"offered {result.offered_req_per_s / 1e3:.1f} kreq/s, "
         f"{c.generated} requests over {result.duration_ns / 1e6:.2f} ms "
         f"simulated"
-        + (", bandwidth model on" if cfg.bandwidth else ""))
+        + (", " + note if (note := _device_note(cfg)) else ""))
     lines.append(
         f"goodput {result.goodput_req_per_s / 1e3:.1f} kreq/s "
         f"({c.deadline_met}/{c.generated} within the "
@@ -66,7 +77,7 @@ def render_sweep_report(capacity_req_per_s: float,
         render_latency_load_table(
             f"Tail latency vs offered load: {cfg.system} app={cfg.app} "
             f"arrival={cfg.arrival} seed={cfg.seed}"
-            + (" [bandwidth model]" if cfg.bandwidth else ""),
+            + (" [" + note + "]" if (note := _device_note(cfg)) else ""),
             results),
     ]
     return "\n".join(lines)
