@@ -149,6 +149,111 @@ def render_sensitivity_table(results: Dict[str, Dict[str, object]],
     return render_table(title, headers, rows)
 
 
+def degrade_phase(window, open_degrades: int) -> str:
+    """Classify one telemetry window into an operator-facing phase label.
+
+    ``open_degrades`` is the running entries−exits balance *before* this
+    window; callers thread it through
+    (``open_degrades += entries - exits``).  Priority order: an open
+    degraded interval dominates (the system is in fallback mode), then
+    shedding (requests dying), then backpressure (admission clamped), then
+    retrying, else ok.
+    """
+    entries = window.counters.get("splitfs.degrade.degraded_entries", 0.0)
+    exits = window.counters.get("splitfs.degrade.degraded_exits", 0.0)
+    if open_degrades + entries - exits > 0 or entries > 0:
+        return "degraded"
+    if window.counters.get("serve.engine.shed", 0.0) > 0:
+        return "shedding"
+    if window.counters.get("serve.engine.backpressure_rejections", 0.0) > 0:
+        return "backpressure"
+    if window.counters.get("serve.engine.retries", 0.0) > 0:
+        return "retrying"
+    return "ok"
+
+
+def render_slo_timeline(title: str, telemetry, slo,
+                        latency_hist: str = "serve.request.latency_ns",
+                        max_rows: int = 48) -> str:
+    """The per-window SLO timeline table (`repro serve --slo` / `monitor`).
+
+    One row per retained telemetry window: offered load (arrival rate),
+    completion rate, the window's own p99 (from the histogram delta), the
+    primary objective's fast/slow burn rates, every firing ``slo:rule``
+    pair, and the degrade phase.  A device-stall column appears only when
+    a bandwidth/device model exported stall counters.  Long runs are
+    stride-downsampled to ``max_rows`` rows (deterministically), with a
+    note saying so.
+    """
+    from ..pmem.devmodel import window_stall_fraction
+
+    windows = list(telemetry.windows)
+    primary = slo.objectives[0]
+    rule = slo.rules[0]
+    evals = {}  # (objective, window index) -> WindowEval
+    for obj in slo.objectives:
+        for ev in slo.evals[obj.name]:
+            evals[(obj.name, ev.window)] = ev
+    has_stall = any(w.counters.get("pmem.bw.stall_ns",
+                                   w.counters.get("pmem.bandwidth.stall_ns",
+                                                  0.0)) > 0
+                    for w in windows)
+    headers = ["win", "t ms", "offered kreq/s", "done kreq/s", "p99 us",
+               f"burn {rule.name} f/s", "alerts", "phase"]
+    if has_stall:
+        headers.insert(7, "dev stall")
+    stride = max(1, -(-len(windows) // max_rows))  # ceil div
+    rows = []
+    open_degrades = 0.0
+    for w in windows:
+        pe = evals.get((primary.name, w.index))
+        firing = sorted(
+            f"{obj.name}:{r}" for obj in slo.objectives
+            for ev in (evals.get((obj.name, w.index)),) if ev is not None
+            for r in ev.firing)
+        phase = degrade_phase(w, open_degrades)
+        if w.index % stride == 0 or w is windows[-1]:
+            row = [
+                f"{w.index}",
+                f"{w.end_ns / 1e6:.2f}",
+                f"{w.rate_per_s('serve.window.arrivals') / 1e3:.1f}",
+                f"{w.rate_per_s('serve.engine.completed') / 1e3:.1f}",
+                fmt_us(w.quantile_ns(latency_hist, 0.99)),
+                (f"{pe.burn[rule.name][0]:.1f}/{pe.burn[rule.name][1]:.1f}"
+                 if pe is not None else "-"),
+                ",".join(firing) if firing else "-",
+                phase,
+            ]
+            if has_stall:
+                row.insert(7, f"{100.0 * window_stall_fraction(w):.1f}%")
+            rows.append(row)
+        open_degrades += (
+            w.counters.get("splitfs.degrade.degraded_entries", 0.0)
+            - w.counters.get("splitfs.degrade.degraded_exits", 0.0))
+    out = render_table(title, headers, rows)
+    notes = []
+    if stride > 1:
+        notes.append(f"(showing every {stride}th of {len(windows)} windows)")
+    if telemetry.dropped:
+        notes.append(f"({telemetry.dropped} windows evicted from the ring "
+                     f"buffer)")
+    return out + ("\n" + " ".join(notes) if notes else "")
+
+
+def render_alert_ledger(slo) -> str:
+    """The deterministic fire/resolve alert ledger table."""
+    if not slo.ledger:
+        return "alerts: none fired"
+    rows = [[f"{ev.window}", f"{ev.t_ns / 1e6:.2f}", ev.slo, ev.rule,
+             ev.kind, f"{ev.burn_fast:.1f}", f"{ev.burn_slow:.1f}"]
+            for ev in slo.ledger]
+    return render_table(
+        "SLO alert ledger",
+        ["win", "t ms", "objective", "rule", "event", "burn fast",
+         "burn slow"],
+        rows)
+
+
 def fmt_us(ns: float) -> str:
     return f"{ns / 1000:.2f}"
 

@@ -329,16 +329,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import (
-        ServeConfig,
-        ServeEngine,
-        render_serve_report,
-        render_sweep_report,
-        run_sweep,
-    )
+def _serve_config(args: argparse.Namespace, **overrides):
+    """Build a ServeConfig from the shared serve/monitor CLI arguments."""
+    from .serve import ServeConfig
 
-    cfg = ServeConfig(
+    kw = dict(
         system=args.system,
         app=args.app,
         arrival=args.arrival,
@@ -352,15 +347,74 @@ def cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         max_retries=args.max_retries,
         cpus=args.cpus,
+        pm_size=args.pm_mb << 20,
         bandwidth=args.bandwidth,
         device_profile=args.device_profile,
         numa_remote=args.numa_remote,
     )
+    kw.update(overrides)
+    return ServeConfig(**kw)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import (
+        ServeEngine,
+        render_serve_report,
+        render_sweep_report,
+        run_sweep,
+    )
+
+    cfg = _serve_config(args, slo=args.slo,
+                        telemetry_window_us=args.window_us)
     if args.sweep:
         capacity, results = run_sweep(cfg)
         print(render_sweep_report(capacity, results))
     else:
         print(render_serve_report(ServeEngine(cfg).run()))
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    import dataclasses as _dc
+    import json
+    import os
+
+    if args.guard:
+        from .obs.profile import telemetry_overhead_guard
+
+        guard = telemetry_overhead_guard(repeats=args.guard_repeats)
+        print(f"telemetry overhead guard: instrumented "
+              f"{guard['instrumented_wall_s'] * 1e3:.1f} ms vs baseline "
+              f"{guard['baseline_wall_s'] * 1e3:.1f} ms "
+              f"(ratio {guard['overhead_ratio']:.3f}, "
+              f"limit {guard['limit_wall_s'] * 1e3:.1f} ms) -> "
+              f"{'ok' if guard['ok'] else 'FAIL'}")
+        return 0 if guard["ok"] else 1
+
+    from .serve import ServeEngine, render_monitor_report
+
+    cfg = _serve_config(args, slo=True,
+                        telemetry_window_us=args.window_us,
+                        trace_sample_every=args.sample_every,
+                        trace_spans=args.trace_spans)
+    capacity = None
+    if args.offered is None:
+        # Probe capacity and drive the run at --load-factor times it, so
+        # "monitor an overloaded serve run" needs no absolute rates.
+        capacity = ServeEngine(cfg).estimate_capacity()
+        cfg = _dc.replace(cfg, offered_rate=capacity * args.load_factor)
+    result = ServeEngine(cfg).run()
+    print(render_monitor_report(result, capacity))
+    if args.out_dir and result.tracer is not None:
+        from .serve.reqtrace import to_chrome_trace
+
+        os.makedirs(args.out_dir, exist_ok=True)
+        path = os.path.join(
+            args.out_dir, f"reqtrace_{cfg.system}_seed{cfg.seed}.json")
+        with open(path, "w") as fh:
+            json.dump(to_chrome_trace(result.tracer), fh, indent=1,
+                      sort_keys=True)
+        print(f"wrote {path}")
     return 0
 
 
@@ -581,51 +635,91 @@ def build_parser() -> argparse.ArgumentParser:
                         "instrumentation overhead is within tolerance")
     p.add_argument("--guard-repeats", type=int, default=5)
 
+    def add_serve_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--system", default="splitfs-strict",
+                       choices=SYSTEM_NAMES)
+        p.add_argument("--app", default="kv", choices=["kv", "aof", "pagedb"],
+                       help="request workload: LSM store, append-only file, "
+                            "or paged DB (default kv)")
+        p.add_argument("--arrival", default="poisson",
+                       choices=["poisson", "bursty"])
+        p.add_argument("--clients", type=int, default=100,
+                       help="simulated clients; offered load = clients x "
+                            "--rate-per-client unless --offered is given")
+        p.add_argument("--rate-per-client", type=float, default=100.0,
+                       help="per-client request rate (req/s, default 100)")
+        p.add_argument("--offered", type=float, default=None,
+                       help="total offered load in req/s (overrides clients "
+                            "x rate)")
+        p.add_argument("--requests", type=int, default=2000,
+                       help="open-loop requests to generate")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--records", type=int, default=500,
+                       help="preloaded keyspace size (Zipfian popularity)")
+        p.add_argument("--deadline-us", type=float, default=400.0,
+                       help="end-to-end request deadline (us)")
+        p.add_argument("--queue-limit", type=int, default=64,
+                       help="admission bound on in-flight requests")
+        p.add_argument("--max-retries", type=int, default=3,
+                       help="client retry budget (exponential backoff + "
+                            "seeded jitter)")
+        p.add_argument("--cpus", type=int, default=1,
+                       help="serve CPUs: the FIFO becomes an M-server queue "
+                            "(one server per CPU; default 1 = legacy queue)")
+        p.add_argument("--bandwidth", action="store_true",
+                       help="attach the token-bucket shared-bandwidth "
+                            "device model (off by default; makes saturation "
+                            "real)")
+        p.add_argument("--device-profile", default=None,
+                       choices=PROFILE_NAMES,
+                       help="attach the full calibrated device model "
+                            "instead (bucket + small-write curve + eADR "
+                            "economics); takes precedence over --bandwidth")
+        p.add_argument("--numa-remote", action="store_true",
+                       help="add NUMA-remote access penalties (implies "
+                            "optane when no profile is named)")
+        p.add_argument("--pm-mb", type=int, default=192,
+                       help="PM device size in MB (shrink it to provoke "
+                            "staging-ENOSPC degraded phases)")
+        p.add_argument("--window-us", type=float, default=500.0,
+                       help="telemetry window width in simulated "
+                            "microseconds (default 500)")
+
     p = sub.add_parser(
         "serve",
         help="open-loop load engine: tail latency + overload robustness")
-    p.add_argument("--system", default="splitfs-strict", choices=SYSTEM_NAMES)
-    p.add_argument("--app", default="kv", choices=["kv", "aof", "pagedb"],
-                   help="request workload: LSM store, append-only file, or "
-                        "paged DB (default kv)")
-    p.add_argument("--arrival", default="poisson",
-                   choices=["poisson", "bursty"])
-    p.add_argument("--clients", type=int, default=100,
-                   help="simulated clients; offered load = clients x "
-                        "--rate-per-client unless --offered is given")
-    p.add_argument("--rate-per-client", type=float, default=100.0,
-                   help="per-client request rate (req/s, default 100)")
-    p.add_argument("--offered", type=float, default=None,
-                   help="total offered load in req/s (overrides clients x "
-                        "rate)")
-    p.add_argument("--requests", type=int, default=2000,
-                   help="open-loop requests to generate")
-    p.add_argument("--seed", type=int, default=7)
-    p.add_argument("--records", type=int, default=500,
-                   help="preloaded keyspace size (Zipfian popularity)")
-    p.add_argument("--deadline-us", type=float, default=400.0,
-                   help="end-to-end request deadline (us)")
-    p.add_argument("--queue-limit", type=int, default=64,
-                   help="admission bound on in-flight requests")
-    p.add_argument("--max-retries", type=int, default=3,
-                   help="client retry budget (exponential backoff + "
-                        "seeded jitter)")
-    p.add_argument("--cpus", type=int, default=1,
-                   help="serve CPUs: the FIFO becomes an M-server queue "
-                        "(one server per CPU; default 1 = legacy queue)")
-    p.add_argument("--bandwidth", action="store_true",
-                   help="attach the token-bucket shared-bandwidth device "
-                        "model (off by default; makes saturation real)")
-    p.add_argument("--device-profile", default=None, choices=PROFILE_NAMES,
-                   help="attach the full calibrated device model instead "
-                        "(bucket + small-write curve + eADR economics); "
-                        "takes precedence over --bandwidth")
-    p.add_argument("--numa-remote", action="store_true",
-                   help="add NUMA-remote access penalties (implies optane "
-                        "when no profile is named)")
+    add_serve_args(p)
     p.add_argument("--sweep", action="store_true",
                    help="latency-vs-offered-load sweep around the probed "
                         "capacity instead of a single run")
+    p.add_argument("--slo", action="store_true",
+                   help="attach windowed telemetry + the SLO burn-rate "
+                        "engine; append the per-window timeline and alert "
+                        "ledger to the report (off-path: default report is "
+                        "byte-identical)")
+
+    p = sub.add_parser(
+        "monitor",
+        help="live telemetry view of an overloaded serve run: SLO "
+             "timeline, burn-rate alerts, traced-request exemplars")
+    add_serve_args(p)
+    p.add_argument("--load-factor", type=float, default=2.0,
+                   help="offered load as a multiple of the probed capacity "
+                        "(default 2.0 = overloaded); ignored when --offered "
+                        "pins the absolute rate")
+    p.add_argument("--sample-every", type=int, default=16,
+                   help="trace one request in k (deterministic seeded "
+                        "hash; default 16)")
+    p.add_argument("--trace-spans", action="store_true",
+                   help="capture the fs span tree for traced requests "
+                        "(binds an Observer; wall-cost only)")
+    p.add_argument("--out-dir", metavar="DIR",
+                   help="write the per-request Chrome trace JSON here")
+    p.add_argument("--guard", action="store_true",
+                   help="instead of monitoring, check that telemetry "
+                        "window snapshotting stays within the wall-clock "
+                        "overhead budget")
+    p.add_argument("--guard-repeats", type=int, default=5)
 
     p = sub.add_parser(
         "ras-report",
@@ -648,6 +742,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "profile": cmd_profile,
     "serve": cmd_serve,
+    "monitor": cmd_monitor,
     "ras-report": cmd_ras_report,
     "crashdemo": cmd_crashdemo,
 }

@@ -214,10 +214,13 @@ class SplitFS(FileSystemAPI):
         # fallback events without reaching into SplitFS internals.  The
         # field filter keeps the shared RAS stats block from leaking its
         # unrelated error-ledger fields under this prefix.
+        # replace=True: a remount (or a second instance without RAS, whose
+        # rstats is private) re-registers the prefix; last mount wins.
         self.machine.metrics.register_source(
             "splitfs.degrade", self.rstats,
             fields=("degraded_entries", "degraded_exits", "degraded_ops",
-                    "enospc_retries"))
+                    "enospc_retries"),
+            replace=True)
         if not _defer_setup:
             self._setup()
 

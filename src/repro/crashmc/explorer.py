@@ -459,9 +459,13 @@ class _ForkEngine:
                             ras=self.ras)
         self.machine = machine
         self.shadow = Shadow(KIND_PROPS[self.report.kind])
-        machine.metrics.register_source("crashmc.fork", self.cow)
+        # replace=True: run() may be re-entered with fresh stats blocks on a
+        # re-used engine; the latest run's counters win.
+        machine.metrics.register_source("crashmc.fork", self.cow,
+                                        replace=True)
         if self.prune_stats is not None:
-            machine.metrics.register_source("crashmc.prune", self.prune_stats)
+            machine.metrics.register_source("crashmc.prune", self.prune_stats,
+                                            replace=True)
         harvester = _ForkHarvester(self)
         machine.pm.attach_observer(harvester)
         try:

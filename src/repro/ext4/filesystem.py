@@ -248,14 +248,18 @@ class Ext4DaxFS(FileSystemAPI, KernelCosts):
         self.journal.lock = self.machine.lock("jbd2")
         self.journal.format()
         self.journal.on_reset = self._flush_quarantine
-        self.machine.metrics.register_source("journal.jbd2", self.journal.stats)
+        # replace=True: a remount builds a fresh Journal on the same
+        # machine, and its stats must supersede the pre-crash instance's.
+        self.machine.metrics.register_source("journal.jbd2",
+                                             self.journal.stats, replace=True)
 
     def _recover_journal(self, jstart: int, jblocks: int) -> None:
         self.journal = Journal(self.pm, jstart, jblocks)
         self.journal.lock = self.machine.lock("jbd2")
         self.journal.recover()
         self.journal.on_reset = self._flush_quarantine
-        self.machine.metrics.register_source("journal.jbd2", self.journal.stats)
+        self.machine.metrics.register_source("journal.jbd2",
+                                             self.journal.stats, replace=True)
 
     def _flush_quarantine(self) -> None:
         """The journal region reset: no stale transactions can replay any

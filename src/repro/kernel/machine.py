@@ -70,6 +70,20 @@ class Machine:
         #: :class:`~repro.kernel.sched.SimLock` a free no-op.
         self.sched = None
         self._locks: Dict[str, "SimLock"] = {}
+        #: Optional :class:`~repro.obs.telemetry.Telemetry`; ``None`` (the
+        #: default) means no windowed time-series are collected.  Clock
+        #: owners (the scheduler, the serve engine) drive it when attached.
+        self.telemetry = None
+
+    def attach_telemetry(self, window_ns: int, capacity: int = 4096):
+        """Attach (and return) a windowed telemetry collector over this
+        machine's metrics registry; replaces any previous one.  The caller
+        owns the lifecycle (``begin``/``advance``/``finish``)."""
+        from ..obs.telemetry import Telemetry
+
+        self.telemetry = Telemetry(self.metrics, window_ns,
+                                   capacity=capacity)
+        return self.telemetry
 
     def next_instance_id(self) -> int:
         """The next machine-scoped component instance id (see above)."""
@@ -143,9 +157,12 @@ class Machine:
 
         if self.pm.bandwidth is None or model is not None:
             self.pm.bandwidth = model or BandwidthModel()
+            # replace=True: re-enabling with a fresh model supersedes the
+            # previous bucket's export on purpose.
             self.metrics.register_source("pmem.bandwidth", self.pm.bandwidth,
                                          fields=("stalled_ops", "stall_ns",
-                                                 "bytes_acquired", "tokens"))
+                                                 "bytes_acquired", "tokens"),
+                                         replace=True)
         return self.pm.bandwidth
 
     def enable_device_model(self, profile="optane", numa_remote=False,
@@ -171,11 +188,14 @@ class Machine:
         self.pm.bandwidth = model.bandwidth
         self.pm.sched = self.sched
         bw_fields = ("stalled_ops", "stall_ns", "bytes_acquired", "tokens")
+        # replace=True throughout: attaching a device model deliberately
+        # supersedes any earlier bucket's export (enable_bandwidth, or a
+        # previous enable_device_model call).
         self.metrics.register_source("pmem.bw", model.bandwidth,
-                                     fields=bw_fields)
+                                     fields=bw_fields, replace=True)
         self.metrics.register_source("pmem.bandwidth", model.bandwidth,
-                                     fields=bw_fields)
-        self.metrics.register_source("pmem.numa", model.numa)
+                                     fields=bw_fields, replace=True)
+        self.metrics.register_source("pmem.numa", model.numa, replace=True)
         return model
 
     def disable_device_model(self) -> None:
@@ -250,6 +270,7 @@ class Machine:
         # state: crash exploration runs the child serially.
         child.sched = None
         child._locks = {}
+        child.telemetry = None
         child.ras = None
         child.metrics = MetricsRegistry()
         child.metrics.register_source("pmem.device", child.pm.stats)

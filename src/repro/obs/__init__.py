@@ -10,9 +10,19 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    HistogramSnapshot,
     MetricsRegistry,
     counter_field,
     reset_counter_fields,
+)
+from .telemetry import (
+    AlertEvent,
+    BurnRule,
+    DEFAULT_BURN_RULES,
+    Objective,
+    SLOEngine,
+    Telemetry,
+    Window,
 )
 
 __all__ = [
@@ -23,7 +33,15 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramSnapshot",
     "MetricsRegistry",
     "counter_field",
     "reset_counter_fields",
+    "AlertEvent",
+    "BurnRule",
+    "DEFAULT_BURN_RULES",
+    "Objective",
+    "SLOEngine",
+    "Telemetry",
+    "Window",
 ]

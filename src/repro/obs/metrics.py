@@ -19,9 +19,24 @@ Like ``obs.observer``, this module imports nothing from the rest of
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 _HIST_BUCKETS = 64  # 2**64 ns ≈ 584 years; plenty for simulated time
+
+
+class HistogramSnapshot(NamedTuple):
+    """A frozen copy of a histogram's state at one instant.
+
+    The telemetry layer (:mod:`repro.obs.telemetry`) snapshots every
+    histogram at each window boundary and derives the *window* histogram by
+    subtracting consecutive snapshots (:meth:`Histogram.delta_since`).
+    """
+
+    count: int
+    sum: float
+    min: float
+    max: float
+    buckets: Tuple[int, ...]
 
 
 class Counter:
@@ -150,6 +165,82 @@ class Histogram:
         self.max = 0.0
         self.buckets = [0] * _HIST_BUCKETS
 
+    # -- snapshots / windowed deltas ------------------------------------------
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Freeze the current state (cheap: one tuple copy of the buckets)."""
+        return HistogramSnapshot(self.count, self.sum, self.min, self.max,
+                                 tuple(self.buckets))
+
+    def delta_since(self, prev: Optional[HistogramSnapshot]) -> "Histogram":
+        """The histogram of samples recorded since ``prev`` was taken.
+
+        Bucket counts and ``count`` are integers, so their subtraction is
+        exact; ``sum`` is a float and subtraction can leave negative dust
+        when the window recorded nothing, so both are clamped at diff time
+        (never below zero, and ``sum`` forced to 0.0 when ``count`` is 0).
+        ``min``/``max`` are not windowed by the cumulative state, so they
+        are recovered where possible (a new global extreme must have
+        occurred inside the window) and otherwise bounded by the occupied
+        delta buckets — quantiles clamp against them, keeping the ~2x
+        bucket error bound.
+        """
+        d = Histogram(self.name)
+        if prev is None:
+            prev = HistogramSnapshot(0, 0.0, float("inf"), 0.0,
+                                     (0,) * _HIST_BUCKETS)
+        d.count = max(self.count - prev.count, 0)
+        d.buckets = [max(c - p, 0) for c, p in zip(self.buckets, prev.buckets)]
+        if d.count == 0:
+            return d
+        d.sum = max(self.sum - prev.sum, 0.0)
+        lo_idx = next(i for i, n in enumerate(d.buckets) if n)
+        hi_idx = next(i for i in range(_HIST_BUCKETS - 1, -1, -1)
+                      if d.buckets[i])
+        if self.min < prev.min:  # new global minimum ⇒ it happened this window
+            d.min = self.min
+        else:
+            d.min = 0.0 if lo_idx == 0 else float(2 ** lo_idx)
+        if self.max > prev.max:  # new global maximum ⇒ it happened this window
+            d.max = self.max
+        else:
+            d.max = min(self.max, float(2 ** (hi_idx + 1)))
+        if d.min > d.max:  # bucket-derived bounds can cross on tiny windows
+            d.min = d.max
+        return d
+
+    def count_above(self, threshold: float) -> float:
+        """Estimated number of samples strictly above ``threshold``.
+
+        Exact when ``threshold`` falls on a bucket boundary or outside
+        ``[min, max]``; otherwise linearly interpolated within the covering
+        bucket (matching :meth:`quantile`'s uniform-within-bucket model).
+        Used by the SLO engine to count deadline-busting samples per window.
+        """
+        if not self.count or threshold >= self.max:
+            return 0.0
+        if threshold < self.min:
+            return float(self.count)
+        idx = self._bucket_index(threshold)
+        above = float(sum(self.buckets[idx + 1:]))
+        n = self.buckets[idx]
+        if n:
+            lo = 0.0 if idx == 0 else float(2 ** idx)
+            hi = float(2 ** (idx + 1))
+            frac_above = (hi - min(max(threshold, lo), hi)) / (hi - lo)
+            above += n * frac_above
+        return min(above, float(self.count))
+
+    def merged_with(self, other: "Histogram") -> "Histogram":
+        """A new histogram holding this one's samples plus ``other``'s."""
+        m = Histogram(self.name)
+        m.count = self.count + other.count
+        m.sum = self.sum + other.sum
+        m.min = min(self.min, other.min)
+        m.max = max(self.max, other.max)
+        m.buckets = [a + b for a, b in zip(self.buckets, other.buckets)]
+        return m
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "count": self.count,
@@ -226,20 +317,34 @@ class MetricsRegistry:
     # -- sources --------------------------------------------------------------
 
     def register_source(self, prefix: str, obj: Any,
-                        fields: Optional[Iterable[str]] = None) -> None:
+                        fields: Optional[Iterable[str]] = None,
+                        replace: bool = False) -> None:
         """Expose a stats dataclass's numeric fields as ``prefix.field``.
 
         ``fields`` restricts the export to the named subset — used when one
         stats object feeds two prefixes (e.g. the SplitFS degraded-mode
         counters live on the shared RAS stats block but are also published
-        as ``splitfs.degrade.*``).  Re-registering a prefix replaces it; the
-        same object may back multiple prefixes.
+        as ``splitfs.degrade.*``).  Re-registering a prefix with the *same*
+        object is idempotent (the fields filter is refreshed); with a
+        *different* object it raises unless ``replace=True`` — a silent
+        overwrite here once hid a remount exporting stale journal stats.
+        The same object may back multiple prefixes.
         """
-        self._sources = [(p, o, f) for (p, o, f) in self._sources
-                         if not (p == prefix and o is not obj)]
-        if not any(p == prefix and o is obj for p, o, _ in self._sources):
-            self._sources.append(
-                (prefix, obj, tuple(fields) if fields is not None else None))
+        fields_t = tuple(fields) if fields is not None else None
+        for i, (p, o, _f) in enumerate(self._sources):
+            if p != prefix:
+                continue
+            if o is obj:  # idempotent re-registration; refresh the filter
+                self._sources[i] = (prefix, obj, fields_t)
+                return
+            if not replace:
+                raise ValueError(
+                    f"metric source prefix {prefix!r} is already registered "
+                    f"to a different object; pass replace=True to supersede "
+                    f"it")
+            self._sources[i] = (prefix, obj, fields_t)
+            return
+        self._sources.append((prefix, obj, fields_t))
 
     @staticmethod
     def _source_items(prefix: str, obj: Any,
@@ -287,3 +392,35 @@ class MetricsRegistry:
 
     def histograms(self) -> Dict[str, Histogram]:
         return dict(self._histograms)
+
+    def snapshot_values(self) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """Split the registry into ``(cumulative, instantaneous)`` values.
+
+        *Cumulative* values are monotonically accumulating totals whose
+        per-window derivative is meaningful: ``Counter`` instruments plus
+        every registered-source field declared via :func:`counter_field`.
+        *Instantaneous* values are point-in-time levels sampled as-is:
+        ``Gauge`` instruments plus plain (non-counter) numeric source
+        fields such as token-bucket fill or queue depth.  The telemetry
+        layer diffs the former across window boundaries and copies the
+        latter, so a field's ``counter_field`` declaration is what decides
+        whether it shows up as a rate or a level.
+        """
+        cumulative: Dict[str, float] = {}
+        instantaneous: Dict[str, float] = {}
+        for name, c in self._counters.items():
+            cumulative[name] = c.value
+        for name, g in self._gauges.items():
+            instantaneous[name] = g.value
+        for prefix, obj, fields in self._sources:
+            counterish = set()
+            if dataclasses.is_dataclass(obj):
+                counterish = {f.name for f in dataclasses.fields(obj)
+                              if f.metadata.get("counter")}
+            for name, value in self._source_items(prefix, obj, fields):
+                field = name[len(prefix) + 1:]
+                if field in counterish:
+                    cumulative[name] = value
+                else:
+                    instantaneous[name] = value
+        return cumulative, instantaneous

@@ -271,3 +271,52 @@ def overhead_guard(repeats: int = 5, total_mb: int = 4,
         "limit_wall_s": limit,
         "ok": current <= limit,
     }
+
+
+def telemetry_overhead_guard(repeats: int = 5, requests: int = 600,
+                             threshold: float = 0.05, slack_s: float = 0.05,
+                             system: str = "splitfs-strict",
+                             ) -> Dict[str, Any]:
+    """Wall-clock cost of window snapshotting; pass/fail for CI.
+
+    Interleaves ``repeats`` pairs of a fixed-seed overloaded serve run:
+    one with the full telemetry/SLO stack attached and one with telemetry
+    off.  Best-of wall times are compared under the same budget as
+    :func:`overhead_guard` — telemetry-on may cost at most ``threshold``
+    (relative) plus ``slack_s`` (absolute) over the plain run.
+    """
+    import dataclasses
+    import time
+
+    # Lazy import: obs sits below serve in the layering; the guard is a
+    # harness entry point, not part of the obs data path.
+    from ..serve.engine import ServeConfig, ServeEngine
+
+    base = ServeConfig(system=system, requests=requests, records=200,
+                       clients=200, offered_rate=120_000.0,
+                       pm_size=96 * 1024 * 1024, seed=11)
+    with_telem = dataclasses.replace(base, slo=True)
+
+    def wall_once(cfg: ServeConfig) -> float:
+        t0 = time.perf_counter()
+        ServeEngine(cfg).run()
+        return time.perf_counter() - t0
+
+    current = baseline = float("inf")
+    wall_once(base)  # warm caches/imports outside the comparison
+    for _ in range(max(1, repeats)):
+        current = min(current, wall_once(with_telem))
+        baseline = min(baseline, wall_once(base))
+    limit = baseline * (1.0 + threshold) + slack_s
+    return {
+        "system": system,
+        "requests": requests,
+        "repeats": repeats,
+        "instrumented_wall_s": current,
+        "baseline_wall_s": baseline,
+        "overhead_ratio": (current / baseline) if baseline else 0.0,
+        "threshold": threshold,
+        "slack_s": slack_s,
+        "limit_wall_s": limit,
+        "ok": current <= limit,
+    }

@@ -218,3 +218,18 @@ class DeviceModel:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"DeviceModel({self.profile.name!r}, "
                 f"numa_remote={self.numa_remote})")
+
+
+def window_stall_fraction(window) -> float:
+    """Fraction of one telemetry window spent stalled on device bandwidth.
+
+    Reads the window's ``pmem.bw.stall_ns`` counter delta (falling back to
+    the legacy ``pmem.bandwidth.stall_ns`` alias when only the plain token
+    bucket is attached) against the window width.  Zero when no model is
+    attached — the timeline renderer uses that to hide the column.
+    """
+    stall = window.counters.get("pmem.bw.stall_ns")
+    if stall is None:
+        stall = window.counters.get("pmem.bandwidth.stall_ns", 0.0)
+    width = window.width_ns
+    return stall / width if width else 0.0

@@ -17,18 +17,23 @@ device saturates*.  It combines
 
 from .arrival import bursty_arrivals, poisson_arrivals
 from .engine import (ServeConfig, ServeCounters, ServeEngine, ServeResult,
-                     run_sweep, saturation_knee)
-from .report import render_serve_report, render_sweep_report
+                     default_serve_objectives, run_sweep, saturation_knee)
+from .report import (render_monitor_report, render_serve_report,
+                     render_sweep_report)
+from .reqtrace import RequestTracer
 from .workload import make_workload
 
 __all__ = [
+    "RequestTracer",
     "ServeConfig",
     "ServeCounters",
     "ServeEngine",
     "ServeResult",
     "bursty_arrivals",
+    "default_serve_objectives",
     "make_workload",
     "poisson_arrivals",
+    "render_monitor_report",
     "render_serve_report",
     "render_sweep_report",
     "run_sweep",

@@ -41,8 +41,10 @@ from typing import Dict, List, Optional, Tuple
 from ..factory import SYSTEM_NAMES, make_filesystem
 from ..kernel.machine import Machine
 from ..obs.metrics import counter_field
+from ..obs.telemetry import Objective, SLOEngine, Telemetry
 from ..posix.errors import FSError
 from .arrival import bursty_arrivals, poisson_arrivals
+from .reqtrace import RequestTracer
 from .workload import Request, make_workload
 
 DEFAULT_PM = 192 * 1024 * 1024
@@ -97,6 +99,20 @@ class ServeConfig:
     numa_remote: bool = False
     #: Record a per-request outcome map (tests; costs memory).
     track_outcomes: bool = False
+    # Live telemetry stack (all opt-in; at the defaults the event loop
+    # takes no telemetry branch and fixed-seed reports stay bit-identical):
+    #: Attach windowed telemetry + the SLO burn-rate engine.
+    slo: bool = False
+    #: Telemetry window width in simulated microseconds.
+    telemetry_window_us: float = 500.0
+    #: Ring-buffer capacity (windows retained; overflow counts ``dropped``).
+    telemetry_capacity: int = 4096
+    #: Override the default objectives (tuple of ``obs.telemetry.Objective``).
+    slo_objectives: Optional[Tuple[Objective, ...]] = None
+    #: Trace one request in k through its lifecycle (0 = tracing off).
+    trace_sample_every: int = 0
+    #: Capture the fs span tree for traced requests (binds an Observer).
+    trace_spans: bool = False
 
     @property
     def offered_req_per_s(self) -> float:
@@ -143,6 +159,31 @@ class ServeResult:
     degrade: Dict[str, float] = field(default_factory=dict)
     bandwidth: Dict[str, float] = field(default_factory=dict)
     outcomes: Optional[Dict[int, str]] = None
+    # Live-telemetry handles (populated when the matching knob is on):
+    telemetry: Optional[Telemetry] = None
+    slo: Optional[SLOEngine] = None
+    tracer: Optional[RequestTracer] = None
+
+
+def default_serve_objectives(deadline_ns: float) -> Tuple[Objective, ...]:
+    """The stock serve SLOs, parameterized by the run's deadline.
+
+    * ``latency-p99`` — p99 ≤ deadline, expressed as its equivalent error
+      budget: at most 1% of completions may exceed the deadline.
+    * ``goodput`` — at least 90% of arrivals must complete in deadline
+      (``bad = arrivals − deadline_met``), the goodput-floor objective.
+    * ``errors`` — at most 5% of attempts may end shed or failed.
+    """
+    return (
+        Objective("latency-p99", budget=0.01,
+                  hist="serve.request.latency_ns", threshold_ns=deadline_ns),
+        Objective("goodput", budget=0.10,
+                  total=("serve.window.arrivals",),
+                  good=("serve.engine.deadline_met",)),
+        Objective("errors", budget=0.05,
+                  total=("serve.engine.attempts",),
+                  bad=("serve.engine.shed", "serve.engine.failed")),
+    )
 
 
 class ServeEngine:
@@ -219,6 +260,24 @@ class ServeEngine:
         wait_hist = machine.metrics.histogram("serve.request.wait_ns")
         service_hist = machine.metrics.histogram("serve.request.service_ns")
 
+        # Live telemetry (opt-in).  The tracer/telemetry never touch the
+        # clock, so enabling them changes no simulated timestamp; at the
+        # defaults (slo=False, trace_sample_every=0) the loop below takes
+        # none of these branches at all.
+        tracer: Optional[RequestTracer] = None
+        if cfg.trace_sample_every:
+            tracer = RequestTracer(cfg.seed, cfg.trace_sample_every,
+                                   capture_spans=cfg.trace_spans)
+            if cfg.trace_spans:
+                from ..obs.observer import Observer
+                Observer().bind(clock)
+        span_obs = clock.obs if (tracer is not None and cfg.trace_spans
+                                 and clock.obs.enabled) else None
+        telem: Optional[Telemetry] = None
+        slo_engine: Optional[SLOEngine] = None
+        arrivals_ctr = None
+        queue_gauge = pressure_gauge = None
+
         rate_per_ns = cfg.offered_req_per_s / 1e9
         deadline_ns = cfg.deadline_us * 1e3
         stream = self._arrival_stream(rate_per_ns)
@@ -244,6 +303,21 @@ class ServeEngine:
         bw0_stall = bw.stall_ns if bw is not None else 0.0
         bw0_ops = bw.stalled_ops if bw is not None else 0
         bw0_bytes = bw.bytes_acquired if bw is not None else 0.0
+        if cfg.slo:
+            telem = Telemetry(machine.metrics,
+                              window_ns=int(cfg.telemetry_window_us * 1e3),
+                              capacity=cfg.telemetry_capacity)
+            machine.telemetry = telem
+            arrivals_ctr = machine.metrics.counter("serve.window.arrivals")
+            queue_gauge = machine.metrics.gauge("serve.queue.depth")
+            pressure_gauge = machine.metrics.gauge("serve.backpressure.ewma")
+            objectives = (cfg.slo_objectives if cfg.slo_objectives is not None
+                          else default_serve_objectives(deadline_ns))
+            slo_engine = SLOEngine(objectives).attach(telem)
+            # Baseline after setup: preload traffic and the up-front
+            # ``generated`` total stay out of every window's deltas.
+            # Windows live on the engine's virtual timeline (origin = 0).
+            telem.begin(0)
         # In-flight completion times (admission control).  A min-heap: with
         # M servers completions are not FIFO-monotone any more — the heap
         # drains whichever completes first.  At cpus=1 pushes are already
@@ -265,8 +339,19 @@ class ServeEngine:
         while events:
             t, seq, rid, attempt = heapq.heappop(events)
             counters.attempts += 1
+            if telem is not None:
+                # Close windows ending at or before this dispatch instant:
+                # everything this event records lands in t's window.
+                telem.advance(int(t))
+                if attempt == 0:
+                    arrivals_ctr.inc()
+            if tracer is not None:
+                tracer.on_attempt(rid, t, attempt)
             while inflight and inflight[0] <= t:
                 heapq.heappop(inflight)
+            if telem is not None:
+                queue_gauge.set(float(len(inflight)))
+                pressure_gauge.set(pressure)
 
             # Admission control, clamped under device backpressure.
             limit = cfg.queue_limit
@@ -277,14 +362,20 @@ class ServeEngine:
                 counters.rejections += 1
                 if clamped:
                     counters.backpressure_rejections += 1
+                if tracer is not None:
+                    tracer.on_rejected(rid, t, attempt, clamped)
                 if attempt < cfg.max_retries:
                     counters.retries += 1
                     retry_t = t + self._backoff_ns(attempt)
                     heapq.heappush(events, (retry_t, next_seq, rid, attempt + 1))
                     next_seq += 1
+                    if tracer is not None:
+                        tracer.on_backoff(rid, t, retry_t, attempt)
                 else:
                     counters.shed += 1
                     terminal(rid, "shed")
+                    if tracer is not None:
+                        tracer.on_outcome(rid, t, "shed")
                 continue
 
             counters.admitted += 1
@@ -294,6 +385,9 @@ class ServeEngine:
                 # Client gave up while we were queued: discard, no dead work.
                 counters.timeouts_queue += 1
                 terminal(rid, "timeout")
+                if tracer is not None:
+                    tracer.on_queue_timeout(rid, t, start, attempt)
+                    tracer.on_outcome(rid, start, "timeout")
                 heapq.heappush(inflight, start)
                 heapq.heapreplace(servers, start)
                 end_time = max(end_time, start)
@@ -304,6 +398,8 @@ class ServeEngine:
             if idle > 0:
                 clock.charge_cpu(idle)
             stall_before = bw.stall_ns if bw is not None else 0.0
+            ev0 = (len(span_obs.events)
+                   if span_obs is not None and rid in tracer.traces else -1)
             err: Optional[FSError] = None
             with clock.measure() as acct:
                 try:
@@ -311,6 +407,7 @@ class ServeEngine:
                 except FSError as exc:
                     err = exc
             service = acct.total_ns
+            served_spans = span_obs.events[ev0:] if ev0 >= 0 else ()
             if cfg.cpus == 1:
                 # Bit-exact legacy arithmetic: the idle charge above pinned
                 # the clock to origin + start, so this equals start + service
@@ -328,6 +425,12 @@ class ServeEngine:
                 frac = (bw.stall_ns - stall_before) / service
                 pressure = 0.8 * pressure + 0.2 * frac
 
+            if tracer is not None:
+                tracer.on_service(rid, t, start, end, attempt,
+                                  err_name=(err.errno_name if err is not None
+                                            else ""),
+                                  spans=served_spans)
+
             if err is not None:
                 if err.errno_name in RETRYABLE_ERRNOS:
                     counters.retryable_errors += 1
@@ -337,16 +440,24 @@ class ServeEngine:
                         heapq.heappush(events,
                                        (retry_t, next_seq, rid, attempt + 1))
                         next_seq += 1
+                        if tracer is not None:
+                            tracer.on_backoff(rid, end, retry_t, attempt)
                     else:
                         counters.shed += 1
                         terminal(rid, "shed")
+                        if tracer is not None:
+                            tracer.on_outcome(rid, end, "shed")
                 else:
                     counters.failed += 1
                     terminal(rid, "failed")
+                    if tracer is not None:
+                        tracer.on_outcome(rid, end, "failed")
                 continue
 
             counters.completed += 1
             terminal(rid, "completed")
+            if tracer is not None:
+                tracer.on_outcome(rid, end, "completed")
             latency_hist.record(end - arrival0[rid])
             wait_hist.record(start - t)
             service_hist.record(service)
@@ -357,6 +468,9 @@ class ServeEngine:
 
         # The run spans the full arrival window even if the tail was shed.
         duration_ns = max(end_time, arrival0[-1] if arrival0 else 0.0, 1.0)
+        if telem is not None:
+            # +1: the trailing partial window must cover the final instant.
+            telem.finish(int(duration_ns) + 1)
         collected = machine.metrics.collect()
         degrade = {k: v for k, v in collected.items()
                    if k.startswith("splitfs.degrade.")}
@@ -388,6 +502,9 @@ class ServeEngine:
             degrade=degrade,
             bandwidth=bw_stats,
             outcomes=outcomes,
+            telemetry=telem,
+            slo=slo_engine,
+            tracer=tracer,
         )
 
 

@@ -6,10 +6,19 @@ runs must render byte-identical reports (gated in CI by `cmp`).
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
-from ..bench.report import fmt_us, render_latency_load_table, render_table
+from ..bench.report import (
+    fmt_us,
+    render_alert_ledger,
+    render_latency_load_table,
+    render_slo_timeline,
+    render_table,
+)
 from .engine import ServeResult
+
+#: The latency histogram the timeline's p99 column reads.
+LATENCY_HIST = "serve.request.latency_ns"
 
 
 def _device_note(cfg) -> str:
@@ -63,6 +72,63 @@ def render_serve_report(result: ServeResult) -> str:
             f"stall {b['stall_ns'] / 1e6:.2f} ms "
             f"({100.0 * b['stall_fraction']:.1f}% of duration), "
             f"{b['bytes_acquired'] / 1e6:.1f} MB through the token bucket")
+    if result.telemetry is not None and result.slo is not None:
+        lines.append("")
+        lines.append(render_slo_timeline(
+            f"SLO timeline ({cfg.telemetry_window_us:.0f} us windows)",
+            result.telemetry, result.slo, latency_hist=LATENCY_HIST))
+        lines.append("")
+        lines.append(render_alert_ledger(result.slo))
+    return "\n".join(lines)
+
+
+def _exemplar_lines(result: ServeResult, k_windows: int = 3,
+                    k_reqs: int = 2) -> List[str]:
+    """Link the slowest telemetry windows to their traced requests."""
+    tracer, telem = result.tracer, result.telemetry
+    if tracer is None or telem is None:
+        return []
+    ranked = sorted(telem.windows,
+                    key=lambda w: (-w.quantile_ns(LATENCY_HIST, 0.99),
+                                   w.index))
+    lines: List[str] = []
+    for w in sorted(ranked[:k_windows], key=lambda w: w.index):
+        if not w.quantile_ns(LATENCY_HIST, 0.99):
+            continue
+        ex = tracer.exemplars(w.start_ns, w.end_ns, k=k_reqs)
+        if not ex:
+            continue
+        frag = ", ".join(
+            f"req {tr.rid} ({fmt_us(tr.latency_ns)} us, "
+            f"{tr.attempts} attempt{'s' if tr.attempts != 1 else ''})"
+            for tr in ex)
+        lines.append(f"  win {w.index} "
+                     f"p99 {fmt_us(w.quantile_ns(LATENCY_HIST, 0.99))} us"
+                     f" -> {frag}")
+    return lines
+
+
+def render_monitor_report(result: ServeResult,
+                          capacity_req_per_s: Optional[float] = None) -> str:
+    """The `repro monitor` composition: serve summary + SLO timeline +
+    alert ledger (via :func:`render_serve_report`), then exemplar links
+    from the slowest windows to traced requests and the trace census."""
+    lines = [render_serve_report(result)]
+    if capacity_req_per_s is not None:
+        lines.insert(0, f"capacity probe: {capacity_req_per_s / 1e3:.1f} "
+                        f"kreq/s (closed-loop service rate)")
+    ex = _exemplar_lines(result)
+    if ex:
+        lines.append("")
+        lines.append("slow-window exemplars (traced requests):")
+        lines.extend(ex)
+    tracer = result.tracer
+    if tracer is not None:
+        lines.append("")
+        lines.append(
+            f"traced {len(tracer.traces)} of "
+            f"{result.counters.generated} requests "
+            f"(deterministic 1-in-{tracer.sample_every} sample)")
     return "\n".join(lines)
 
 

@@ -101,16 +101,29 @@ class TestRegistry:
         assert out["pmem.fake.high_water"] == 7.0
         assert "pmem.fake.label" not in out
 
-    def test_register_source_same_prefix_replaces(self):
+    def test_register_source_duplicate_prefix_raises(self):
         reg = MetricsRegistry()
         old, new = FakeStats(), FakeStats()
         new.fired = 9
         reg.register_source("s", old)
-        reg.register_source("s", new)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register_source("s", new)
+        # The failed registration left the old binding intact.
+        assert reg.collect()["s.fired"] == 0.0
+        # An explicit replace=True supersedes it.
+        reg.register_source("s", new, replace=True)
         assert reg.collect()["s.fired"] == 9.0
-        # Re-registering the identical object is idempotent.
-        reg.register_source("s", new)
+
+    def test_register_source_same_object_is_idempotent(self):
+        reg = MetricsRegistry()
+        st = FakeStats()
+        st.fired = 9
+        reg.register_source("s", st)
+        reg.register_source("s", st)  # same object: no error, no duplicate
         assert sum(1 for k in reg.collect() if k.startswith("s.")) == 3
+        # Re-registration refreshes the fields filter.
+        reg.register_source("s", st, fields=("fired",))
+        assert sum(1 for k in reg.collect() if k.startswith("s.")) == 1
 
     def test_reset_rewinds_instruments_and_sources(self):
         reg = MetricsRegistry()
